@@ -1,0 +1,18 @@
+"""Section 6.5 / 6.7 ablations: burst-8 restriction and two-way Alloy."""
+
+
+def test_burst8_costs_little(experiment):
+    result = experiment("burst8")
+    base = result.row_by_key("alloy-map-i")[1]
+    burst8 = result.row_by_key("alloy-burst8")[1]
+    # Paper: 33% vs 35% — burst-8 costs a few points, not the benefit.
+    assert burst8 > base - 6.0
+    assert burst8 <= base + 1.5
+
+
+def test_twoway_loses_to_direct_mapped(experiment):
+    result = experiment("twoway")
+    one = result.row_by_key("alloy-map-i")
+    two = result.row_by_key("alloy-2way")
+    assert two[2] >= one[2] - 1.0   # hit rate: 2-way >= 1-way (roughly)
+    assert two[3] > one[3]          # hit latency: 2-way is slower

@@ -1,0 +1,22 @@
+"""Analytic artifacts: Figure 1 (BEHR), Figure 3 (latency), Table 4 (bandwidth)."""
+
+
+def test_fig1_break_even_hit_rate(experiment):
+    result = experiment("fig1")
+    assert result.row_by_key("fast")[-1] == "True"
+    assert result.row_by_key("slow")[-1] == "False"
+
+
+def test_fig3_latency_breakdown(experiment):
+    result = experiment("fig3")
+    for row in result.rows:
+        _, _, _, cycles, paper = row
+        if paper != "-":
+            assert cycles == paper
+
+
+def test_table4_effective_bandwidth(experiment):
+    result = experiment("table4")
+    entries = {row[0]: row[3] for row in result.rows}
+    assert entries["alloy-cache"] == 6.4
+    assert entries["lh-cache"] < 2.0

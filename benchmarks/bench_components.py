@@ -1,0 +1,96 @@
+"""Microbenchmarks of the simulator's hot components.
+
+These are conventional pytest-benchmark timings (many rounds) of the
+per-access building blocks: DRAM device reservations, tag-array lookups,
+predictor updates, and trace generation. They track simulator performance,
+not paper results.
+"""
+
+import numpy as np
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.replacement import make_policy
+from repro.cache.set_assoc import SetAssocCache
+from repro.core.predictors import MapIPredictor
+from repro.dram.device import DramDevice
+from repro.dram.mapping import RowLocation
+from repro.dram.timings import STACKED_DRAM
+from repro.units import MB
+from repro.workloads.spec import get_benchmark
+from repro.workloads.patterns import generate_core_trace
+
+
+def test_device_access_throughput(benchmark):
+    device = DramDevice(STACKED_DRAM)
+    locs = [RowLocation(i % 4, (i // 4) % 8, i % 64) for i in range(256)]
+
+    def run():
+        now = 0.0
+        for loc in locs:
+            now = device.access(now, loc, 5).done
+
+    benchmark(run)
+
+
+def test_direct_mapped_lookup_throughput(benchmark):
+    cache = DirectMappedCache(14336)
+    addresses = np.random.default_rng(1).integers(0, 100_000, 4096).tolist()
+    for a in addresses[::4]:
+        cache.fill(int(a))
+
+    def run():
+        hits = 0
+        for a in addresses:
+            hits += cache.lookup(int(a))
+        return hits
+
+    benchmark(run)
+
+
+def test_set_assoc_dip_lookup_throughput(benchmark):
+    cache = SetAssocCache(512, 29, policy=make_policy("dip"))
+    addresses = np.random.default_rng(2).integers(0, 50_000, 2048).tolist()
+
+    def run():
+        for a in addresses:
+            if not cache.lookup(int(a)):
+                cache.fill(int(a))
+
+    benchmark(run)
+
+
+def test_map_i_predict_update_throughput(benchmark):
+    predictor = MapIPredictor(num_cores=8)
+    events = [(i % 8, 0x400000 + (i * 37) % 4096, i % 3 == 0) for i in range(2048)]
+
+    def run():
+        for core, pc, went in events:
+            predictor.predict(core, pc)
+            predictor.update(core, pc, went)
+
+    benchmark(run)
+
+
+def test_trace_generation_throughput(benchmark):
+    spec = get_benchmark("mcf_r")
+
+    def run():
+        return generate_core_trace(spec.pattern, 2000, seed=1)
+
+    trace = benchmark(run)
+    assert trace.num_reads == 2000
+
+
+def test_end_to_end_small_simulation(benchmark):
+    from repro.sim.config import SystemConfig
+    from repro.sim.runner import run_benchmark
+
+    config = SystemConfig(cache_size_bytes=256 * MB)
+
+    def run():
+        return run_benchmark(
+            "alloy-map-i", "sphinx_r", config, reads_per_core=500
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.cycles > 0

@@ -1,0 +1,17 @@
+"""Section 5.6 energy implications and Section 6.1 storage overheads."""
+
+
+def test_energy_by_access_model(experiment):
+    result = experiment("energy")
+    ratios = {row[0]: row[2] for row in result.rows}
+    # PAM inflates memory traffic far more than the practical predictors.
+    assert ratios["PAM"] > 1.3
+    assert ratios["MAP-I"] < ratios["PAM"]
+    assert ratios["Perfect"] <= 1.05
+
+
+def test_storage_overheads(experiment):
+    result = experiment("overheads")
+    row_256 = result.row_by_key("256MB")
+    assert row_256[1] == row_256[2] == "24MB"  # matches the paper exactly
+    assert row_256[-1] == "768B"

@@ -1,0 +1,47 @@
+"""Extension sweeps: PSL sensitivity, MACT sizing, LH replacement ablation."""
+
+
+def test_psl_sweep(experiment):
+    result = experiment("psl-sweep")
+    improvements = result.column("improvement_pct")
+    latencies = result.column("hit_latency")
+    # More serialization latency can only hurt.
+    assert improvements[0] >= improvements[-1]
+    assert latencies[0] < latencies[-1]
+
+
+def test_mact_sweep(experiment):
+    result = experiment("mact-sweep")
+    accuracy = result.column("accuracy_pct")
+    # Bigger tables never hurt accuracy.
+    assert accuracy[-1] >= accuracy[0] - 0.5
+
+
+def test_mlp_sweep(experiment):
+    result = experiment("mlp-sweep")
+    lh = result.column("lh_cache")
+    # MLP lifts the latency-dominated LH-Cache the most in relative terms.
+    assert lh[-1] >= lh[0] - 0.05
+
+
+def test_lh_replacement_ablation(experiment):
+    result = experiment("lh-replacement")
+    by_policy = {row[0]: row for row in result.rows}
+    # Random replacement always has the lowest hit latency (no updates).
+    assert by_policy["random"][3] <= min(r[3] for r in result.rows)
+
+
+def test_victim_cache(experiment):
+    result = experiment("victim-cache")
+    base = result.row_by_key("alloy-map-i")
+    v64 = result.row_by_key("alloy-victim64")
+    assert v64[2] >= base[2] - 0.2   # hit rate never falls
+    assert v64[4] == 64 * 72         # SRAM cost stays tiny
+
+
+def test_page_policy(experiment):
+    result = experiment("page-policy")
+    open_row = result.row_by_key("open")
+    closed = result.row_by_key("closed")
+    assert open_row[3] > closed[3]   # row-buffer hits vanish when closed
+    assert open_row[2] <= closed[2]  # and hit latency suffers

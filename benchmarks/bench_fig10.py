@@ -1,0 +1,10 @@
+"""Figure 10: average DRAM-cache hit latency per workload."""
+
+
+def test_fig10_hit_latency(experiment):
+    result = experiment("fig10")
+    avg = result.row_by_key("average")
+    lh, sram, alloy = avg[1], avg[2], avg[3]
+    # Paper: 107 / 67 / 43 cycles — Alloy cuts LH latency by ~60%.
+    assert alloy < sram < lh
+    assert alloy < 0.5 * lh

@@ -1,0 +1,10 @@
+"""Figure 11: the lower-memory-intensity SPEC workloads."""
+
+
+def test_fig11_other_workloads(experiment):
+    result = experiment("fig11")
+    gmean = result.row_by_key("gmean")
+    lh, sram, alloy = gmean[1], gmean[2], gmean[3]
+    # Improvements are small but the ordering holds.
+    assert alloy >= sram * 0.98
+    assert alloy > lh

@@ -1,0 +1,9 @@
+"""Figure 4: speedup of SRAM-Tag / LH-Cache / IDEAL-LO over no DRAM cache."""
+
+
+def test_fig4_performance_potential(experiment):
+    result = experiment("fig4")
+    gmean = result.row_by_key("gmean")
+    lh, sram, ideal = gmean[1], gmean[2], gmean[3]
+    # Paper shape: LH-Cache < SRAM-Tag < IDEAL-LO, all above baseline.
+    assert 1.0 < lh < sram < ideal

@@ -1,0 +1,10 @@
+"""Figure 6: Alloy Cache miss-handling options vs the SRAM-Tag design."""
+
+
+def test_fig6_miss_handling(experiment):
+    result = experiment("fig6")
+    gmean = result.row_by_key("gmean")
+    nopred, missmap, perfect = gmean[1], gmean[2], gmean[3]
+    # MissMap's serialization latency makes it worse than no prediction.
+    assert missmap < nopred
+    assert perfect > nopred

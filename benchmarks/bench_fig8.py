@@ -1,0 +1,10 @@
+"""Figure 8: Alloy Cache under SAM / PAM / MAP-G / MAP-I / Perfect."""
+
+
+def test_fig8_predictors(experiment):
+    result = experiment("fig8")
+    gmean = result.row_by_key("gmean")
+    sam, pam, map_g, map_i, perfect = gmean[1:6]
+    assert perfect >= max(sam, pam, map_g) * 0.99
+    assert map_i > sam
+    assert map_i > perfect * 0.9  # close to the oracle

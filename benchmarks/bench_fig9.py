@@ -1,0 +1,12 @@
+"""Figure 9: sensitivity to DRAM-cache size (64 MB - 1 GB)."""
+
+
+def test_fig9_size_sweep(experiment):
+    result = experiment("fig9")
+    # Every size row: LH < max(others); Alloy between SRAM-Tag and IDEAL-LO.
+    for row in result.rows:
+        _, lh, sram, alloy, ideal = row
+        assert lh < ideal
+        assert alloy <= ideal * 1.02
+    # Capacity helps the Alloy Cache monotonically (first vs last row).
+    assert result.rows[-1][3] >= result.rows[0][3]

@@ -1,0 +1,10 @@
+"""Full-reproduction health check: the paper-claim scorecard."""
+
+
+def test_scorecard(experiment):
+    result = experiment("scorecard")
+    verdicts = result.column("verdict")
+    passed = verdicts.count("PASS")
+    # The reproduction promises at least 11 of 12 shape criteria even on
+    # short traces (borderline criteria may flip in quick mode).
+    assert passed >= 11, result.render()

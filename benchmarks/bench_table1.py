@@ -1,0 +1,13 @@
+"""Table 1: de-optimizing the LH-Cache (random replacement, direct-mapped)."""
+
+
+def test_table1_deoptimization(experiment):
+    result = experiment("table1")
+    lh = result.row_by_key("lh-cache")
+    rand = result.row_by_key("lh-cache-rand")
+    one_way = result.row_by_key("lh-cache-1way")
+    # De-optimizations reduce hit latency...
+    assert rand[3] < lh[3]
+    assert one_way[3] < lh[3]
+    # ...and reduce hit rate, the paper's counterintuitive trade.
+    assert one_way[2] <= lh[2]

@@ -1,0 +1,11 @@
+"""Table 5: prediction-scenario accuracy breakdown."""
+
+
+def test_table5_scenarios(experiment):
+    result = experiment("table5")
+    accuracy = {row[0]: row[5] for row in result.rows}
+    assert accuracy["Perfect"] == 100.0
+    assert accuracy["MAP-I"] > accuracy["SAM"]
+    assert accuracy["MAP-I"] > accuracy["PAM"]
+    pam = result.row_by_key("PAM")
+    assert pam[2] > 20.0  # PAM wastes a large share of accesses

@@ -1,0 +1,9 @@
+"""Table 6: hit rate, 29-way LH-Cache vs direct-mapped Alloy Cache."""
+
+
+def test_table6_hit_rates(experiment):
+    result = experiment("table6")
+    for row in result.rows:
+        _, lh, alloy, delta = row[0], row[1], row[2], row[3]
+        assert lh >= alloy
+        assert delta >= 0

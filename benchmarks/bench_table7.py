@@ -1,0 +1,8 @@
+"""Table 7: room for improvement beyond Alloy + MAP-I."""
+
+
+def test_table7_room_for_improvement(experiment):
+    result = experiment("table7")
+    impr = {row[0]: row[1] for row in result.rows}
+    assert impr["alloy-map-i"] <= impr["alloy-perfect"] * 1.02 + 1.0
+    assert impr["ideal-lo"] <= impr["ideal-lo-notag"] + 1.0

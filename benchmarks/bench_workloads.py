@@ -1,0 +1,13 @@
+"""Table 3: workload characterization (perfect-L3 speedup, MPKI, footprint)."""
+
+
+def test_table3_characteristics(experiment):
+    result = experiment("table3")
+    for row in result.rows:
+        name, ours, paper, mpki, paper_mpki = row[0], row[1], row[2], row[3], row[4]
+        assert ours > 1.0, name
+        # Generated MPKI tracks Table 3 closely by construction.
+        assert abs(mpki - paper_mpki) / paper_mpki < 0.1, name
+    speedups = result.column("perfect_l3_speedup")
+    # Preserve the paper's ranking ends: mcf most sensitive, libquantum least.
+    assert speedups[0] == max(speedups)

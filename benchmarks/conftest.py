@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*`` module regenerates one of the paper's tables or figures
+through the experiment registry and reports it. ``pytest-benchmark`` times
+the regeneration; the rendered table is attached to the benchmark's
+``extra_info`` and printed so a run of::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces every artifact. Set ``REPRO_FULL=1`` for full-length traces
+(the numbers recorded in EXPERIMENTS.md); the default is quick mode.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+#: Full-length traces when REPRO_FULL=1; quick traces otherwise.
+QUICK = os.environ.get("REPRO_FULL", "0") != "1"
+
+
+def regenerate(benchmark, experiment_id):
+    """Run one experiment under the benchmark timer and report its table."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), kwargs={"quick": QUICK},
+        rounds=1, iterations=1,
+    )
+    rendered = result.render()
+    print()
+    print(rendered)
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["quick_mode"] = QUICK
+    benchmark.extra_info["rows"] = len(result.rows)
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Factory fixture: ``experiment("fig4")`` regenerates Figure 4."""
+
+    def run(experiment_id):
+        return regenerate(benchmark, experiment_id)
+
+    return run

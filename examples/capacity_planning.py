@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Capacity planning with a *custom* workload (paper Figure 9 methodology).
+
+Shows the full public workload API: define your own benchmark as a mixture
+of access-pattern components, build a rate-mode workload from it, and sweep
+DRAM-cache sizes to find where extra stacked capacity stops paying off.
+
+The example workload is a key-value-store-like service: a hot index, a
+Zipf-distributed object heap, and a background scan.
+
+Usage::
+
+    python examples/capacity_planning.py
+"""
+
+from repro import SystemConfig, run_design
+from repro.sim.runner import run_design as _run
+from repro.units import GB, MB, pretty_size
+from repro.workloads.patterns import Component, PatternConfig, generate_core_trace
+from repro.workloads.trace import Workload
+
+DESIGNS = ("sram-tag", "alloy-map-i")
+SIZES = (64 * MB, 128 * MB, 256 * MB, 512 * MB, 1 * GB)
+
+KV_STORE = PatternConfig(
+    name="kv-store",
+    mpki=18.0,
+    components=(
+        # Hash index: small and hot, touched on every request.
+        Component("hot", 0.40, 16 * MB, pc_pool=6),
+        # Object heap: Zipf-popular values over a large region.
+        Component("zipf", 0.40, 2 * GB, zipf_alpha=1.2, pc_pool=12),
+        # Compaction scan: sequential sweep, row-buffer friendly.
+        Component("sequential", 0.20, 512 * MB, run_length=48, pc_pool=3),
+    ),
+    write_fraction=0.25,
+    gap_mean_cycles=55.0,
+)
+
+
+def build_kv_workload(config: SystemConfig, reads_per_core: int = 4000) -> Workload:
+    cores = []
+    for core_id in range(config.num_cores):
+        cores.append(
+            generate_core_trace(
+                KV_STORE,
+                num_reads=reads_per_core,
+                seed=100 + core_id,
+                capacity_scale=config.capacity_scale,
+                base_line=core_id * ((1 << 28) + 2854457),
+            )
+        )
+    return Workload("kv-store", cores)
+
+
+def main() -> None:
+    print("custom kv-store workload: DRAM-cache size sweep\n")
+    header = f"{'size':>7s}" + "".join(f"{d:>16s}" for d in DESIGNS) + f"{'hit rate':>10s}"
+    print(header)
+    print("-" * len(header))
+
+    for size in SIZES:
+        config = SystemConfig().with_cache_size(size)
+        workload = build_kv_workload(config)
+        baseline = run_design("no-cache", workload, config)
+        cells = []
+        alloy_hit = 0.0
+        for design in DESIGNS:
+            result = run_design(design, workload, config)
+            cells.append(f"{result.speedup_vs(baseline):15.3f}x")
+            if design == "alloy-map-i":
+                alloy_hit = result.read_hit_rate
+        print(f"{pretty_size(size):>7s}" + "".join(cells) + f"{alloy_hit:9.1%}")
+
+    print(
+        "\nReading the sweep: capacity helps while the Zipf head still "
+        "overflows the\ncache; once the hot set fits, extra stacked DRAM "
+        "buys little — size the stack\nat the knee."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: simulate the Alloy Cache on one workload.
+
+Runs the paper's proposed design (direct-mapped Alloy Cache + MAP-I
+predictor) and the no-DRAM-cache baseline on the mcf-like workload, and
+prints the headline metrics: speedup, hit rate, and average hit latency.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [design]
+    python examples/quickstart.py omnetpp_r lh-cache
+"""
+
+import sys
+
+from repro import DESIGN_NAMES, SystemConfig, speedup
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "mcf_r"
+    design = sys.argv[2] if len(sys.argv) > 2 else "alloy-map-i"
+    if design not in DESIGN_NAMES:
+        raise SystemExit(f"unknown design {design!r}; choose from {DESIGN_NAMES}")
+
+    config = SystemConfig()  # paper Table 2: 8 cores, 256 MB stacked cache
+    print(f"simulating {design} on {benchmark} "
+          f"({config.num_cores} cores, 256 MB nominal cache)...")
+
+    s, result = speedup(design, benchmark, config, reads_per_core=4000)
+
+    print(f"\n  speedup over no-DRAM-cache baseline : {s:.3f}x")
+    print(f"  DRAM-cache read hit rate            : {result.read_hit_rate:.1%}")
+    print(f"  average hit latency                 : {result.avg_hit_latency:.1f} cycles")
+    print(f"  average read latency                : {result.avg_read_latency:.1f} cycles")
+    print(f"  off-chip memory reads               : {result.memory_reads}")
+    if result.predictor_accuracy() is not None:
+        print(f"  memory-access-predictor accuracy    : {result.predictor_accuracy():.1%}")
+    print(f"  stacked-DRAM row-buffer hit rate    : {result.stacked_row_hit_rate:.1%}")
+
+
+if __name__ == "__main__":
+    main()

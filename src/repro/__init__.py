@@ -1,0 +1,61 @@
+"""repro: reproduction of "Fundamental Latency Trade-offs in Architecting
+DRAM Caches" (Qureshi & Loh, MICRO 2012).
+
+Public API highlights:
+
+* :class:`repro.core.alloy.AlloyCache` / :class:`repro.core.tad.AlloyGeometry`
+  — the paper's latency-optimized TAD cache.
+* :mod:`repro.core.predictors` — SAM/PAM/MAP-G/MAP-I memory access predictors.
+* :func:`repro.sim.runner.run_benchmark` / :func:`repro.sim.runner.speedup`
+  — simulate any design over any catalog workload.
+* :mod:`repro.experiments` — regenerate every table and figure of the paper.
+
+Quickstart::
+
+    from repro import speedup
+    s, result = speedup("alloy-map-i", "mcf_r")
+    print(f"Alloy Cache speedup on mcf: {s:.2f}x, "
+          f"hit rate {result.read_hit_rate:.1%}")
+"""
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.sim.runner import (
+    compare_designs,
+    geometric_mean,
+    run_benchmark,
+    run_design,
+    speedup,
+)
+from repro.dramcache.factory import DESIGN_NAMES, make_design
+from repro.core.alloy import AlloyCache
+from repro.core.tad import AlloyGeometry
+from repro.core.predictors import make_predictor
+from repro.workloads.spec import (
+    ALL_BENCHMARKS,
+    PRIMARY_BENCHMARKS,
+    SECONDARY_BENCHMARKS,
+    build_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "SimResult",
+    "run_benchmark",
+    "run_design",
+    "speedup",
+    "compare_designs",
+    "geometric_mean",
+    "make_design",
+    "DESIGN_NAMES",
+    "AlloyCache",
+    "AlloyGeometry",
+    "make_predictor",
+    "build_workload",
+    "ALL_BENCHMARKS",
+    "PRIMARY_BENCHMARKS",
+    "SECONDARY_BENCHMARKS",
+    "__version__",
+]

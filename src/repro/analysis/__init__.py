@@ -1,0 +1,34 @@
+"""Analytic models from the paper: BEHR, latency breakdowns, bandwidth."""
+
+from repro.analysis.behr import (
+    average_latency,
+    break_even_hit_rate,
+    behr_curve,
+    fig1_example,
+)
+from repro.analysis.latency import (
+    AccessBreakdown,
+    baseline_latency,
+    sram_tag_latency,
+    lh_cache_latency,
+    ideal_lo_latency,
+    alloy_latency,
+    fig3_table,
+)
+from repro.analysis.bandwidth import BandwidthEntry, table4
+
+__all__ = [
+    "average_latency",
+    "break_even_hit_rate",
+    "behr_curve",
+    "fig1_example",
+    "AccessBreakdown",
+    "baseline_latency",
+    "sram_tag_latency",
+    "lh_cache_latency",
+    "ideal_lo_latency",
+    "alloy_latency",
+    "fig3_table",
+    "BandwidthEntry",
+    "table4",
+]

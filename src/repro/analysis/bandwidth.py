@@ -1,0 +1,54 @@
+"""Effective-bandwidth comparison (paper Section 4.2, Table 4).
+
+Raw stacked-DRAM bandwidth is 8x off-chip. What matters is bytes moved per
+*useful* 64-byte line served:
+
+* SRAM-Tag moves exactly one line per hit -> keeps the full 8x.
+* LH-Cache moves 3 tag lines + 1 data line + a replacement update
+  (~272 bytes) -> effective bandwidth under 2x.
+* Alloy Cache moves one 80-byte TAD -> 6.4x.
+* IDEAL-LO moves one line -> 8x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.units import LINE_SIZE, LH_TAG_LINES
+
+#: Raw stacked : off-chip bandwidth ratio (paper Section 2.5).
+STACKED_RAW_BANDWIDTH = 8.0
+
+#: Bytes of replacement-update traffic per LH-Cache hit: one 16 B beat
+#: (the paper's Table 4 charges (256+16) bytes per access).
+LH_UPDATE_BYTES = 16
+
+
+@dataclass(frozen=True)
+class BandwidthEntry:
+    """One Table 4 row."""
+
+    structure: str
+    raw_bandwidth: float
+    bytes_per_hit: int
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Raw bandwidth scaled by useful bytes per transfer."""
+        return self.raw_bandwidth * LINE_SIZE / self.bytes_per_hit
+
+
+def table4(alloy_tad_bytes: int = 80) -> List[BandwidthEntry]:
+    """Reproduce Table 4 (``alloy_tad_bytes=128`` for the burst-8 variant)."""
+    return [
+        BandwidthEntry("offchip-memory", 1.0, LINE_SIZE),
+        BandwidthEntry("sram-tag", STACKED_RAW_BANDWIDTH, LINE_SIZE),
+        BandwidthEntry(
+            "lh-cache",
+            STACKED_RAW_BANDWIDTH,
+            (LH_TAG_LINES + 1) * LINE_SIZE + LH_UPDATE_BYTES,
+        ),
+        BandwidthEntry("ideal-lo", STACKED_RAW_BANDWIDTH, LINE_SIZE),
+        BandwidthEntry("alloy-cache", STACKED_RAW_BANDWIDTH, alloy_tad_bytes),
+    ]

@@ -1,0 +1,83 @@
+"""Break-Even Hit Rate analysis (paper Section 1, Figure 1).
+
+The paper motivates latency-first design with a simple average-latency
+model: memory costs 1 unit, the cache costs ``hit_latency`` units, and an
+optimization *A* that improves hit rate but inflates hit latency is only
+worthwhile if its hit rate exceeds the *Break-Even Hit Rate* (BEHR) — the
+hit rate at which average latency equals the unoptimized cache's.
+
+All latencies here are normalized to memory latency = 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+def average_latency(hit_rate: float, hit_latency: float, miss_latency: float = 1.0) -> float:
+    """Average access latency for a cache in front of memory.
+
+    A miss costs the full memory latency (the model assumes miss detection
+    is free; the paper's point is that even under this generous assumption,
+    slow hits sink the optimization).
+    """
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ValueError("hit_rate must be within [0, 1]")
+    return hit_rate * hit_latency + (1.0 - hit_rate) * miss_latency
+
+
+def break_even_hit_rate(
+    base_hit_rate: float,
+    base_hit_latency: float,
+    new_hit_latency: float,
+    miss_latency: float = 1.0,
+) -> float:
+    """Hit rate at which an optimization with ``new_hit_latency`` matches the
+    base cache's average latency.
+
+    Returns a value that may exceed 1.0, meaning the optimization can never
+    break even (the paper's 60%-base-hit-rate example needs 100%).
+    """
+    base_avg = average_latency(base_hit_rate, base_hit_latency, miss_latency)
+    denominator = miss_latency - new_hit_latency
+    if denominator <= 0:
+        raise ValueError("hit latency must stay below miss latency")
+    return (miss_latency - base_avg) / denominator
+
+
+def behr_curve(
+    base_hit_latency: float,
+    new_hit_latency: float,
+    points: int = 101,
+    miss_latency: float = 1.0,
+) -> List[Tuple[float, float]]:
+    """(base hit rate, BEHR) pairs — one of Figure 1's dashed curves."""
+    out = []
+    for i in range(points):
+        h = i / (points - 1)
+        out.append(
+            (h, break_even_hit_rate(h, base_hit_latency, new_hit_latency, miss_latency))
+        )
+    return out
+
+
+def fig1_example() -> Dict[str, float]:
+    """Reproduce the worked example of Section 1 / Figure 1.
+
+    Optimization A removes 40% of misses (50% -> 70% hit rate) but inflates
+    hit latency by 1.4x. For the fast cache (hit latency 0.1) it is a win;
+    for the slow cache (0.5) it is a loss.
+    """
+    fast_base = average_latency(0.5, 0.1)
+    fast_with_a = average_latency(0.7, 0.14)
+    slow_base = average_latency(0.5, 0.5)
+    slow_with_a = average_latency(0.7, 0.7)
+    return {
+        "fast_base_avg": fast_base,                     # 0.55
+        "fast_with_A_avg": fast_with_a,                 # 0.40
+        "fast_behr": break_even_hit_rate(0.5, 0.1, 0.14),   # ~0.52
+        "slow_base_avg": slow_base,                     # 0.75
+        "slow_with_A_avg": slow_with_a,                 # 0.79
+        "slow_behr": break_even_hit_rate(0.5, 0.5, 0.7),    # ~0.83
+        "slow_behr_at_60pct_base": break_even_hit_rate(0.6, 0.5, 0.7),  # 1.0
+    }

@@ -1,0 +1,174 @@
+"""Isolated-access latency breakdowns (paper Section 2.4, Figure 3).
+
+The paper analyzes two isolated access types against each design:
+
+* **X** — good off-chip row-buffer locality (a row-buffer hit in memory);
+* **Y** — must activate the memory row.
+
+Latencies come straight from the timing presets: off-chip ACT = CAS = 36,
+16 cycles/line on the bus; stacked ACT = CAS = 18, 4 cycles/line; L3/SRAM/
+MissMap lookup = 24. The functions below rebuild each bar of Figure 3 and
+are asserted cycle-exact against the paper's numbers in the test suite:
+
+=======================  =====  =====
+design / event            X      Y
+=======================  =====  =====
+baseline memory            52     88
+SRAM-Tag hit               64     64
+SRAM-Tag miss              76    112
+LH-Cache hit               96     96
+LH-Cache miss              76    112
+IDEAL-LO hit               22     40
+IDEAL-LO miss              52     88
+=======================  =====  =====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.dram.timings import DramTimings, OFFCHIP_DDR3, STACKED_DRAM
+from repro.units import LH_TAG_LINES
+
+#: L3 / SRAM tag-store / MissMap lookup latency (paper Table 2).
+LOOKUP_LATENCY = 24
+
+#: One stacked-DRAM clock (1.6 GHz -> 2 CPU cycles at 4 GHz) to compare
+#: the streamed-out tags against the request address.
+TAG_CHECK = 2
+
+
+@dataclass(frozen=True)
+class AccessBreakdown:
+    """One bar of Figure 3: a sequence of (activity, cycles) segments."""
+
+    design: str
+    access_type: str  # "X" or "Y"
+    event: str  # "hit" or "miss"
+    segments: Tuple[Tuple[str, int], ...]
+
+    @property
+    def total(self) -> int:
+        return sum(cycles for _, cycles in self.segments)
+
+
+def _mem_segments(access_type: str, mem: DramTimings) -> Tuple[Tuple[str, int], ...]:
+    """Off-chip service: CAS+bus for X (row hit), ACT+CAS+bus for Y."""
+    if access_type == "X":
+        return (("mem-cas", mem.t_cas), ("mem-bus", mem.line_burst))
+    return (
+        ("mem-act", mem.t_act),
+        ("mem-cas", mem.t_cas),
+        ("mem-bus", mem.line_burst),
+    )
+
+
+def baseline_latency(
+    access_type: str, mem: DramTimings = OFFCHIP_DDR3
+) -> AccessBreakdown:
+    """No DRAM cache: X = 52 cycles, Y = 88 cycles."""
+    return AccessBreakdown("baseline", access_type, "miss", _mem_segments(access_type, mem))
+
+
+def sram_tag_latency(
+    access_type: str,
+    hit: bool,
+    mem: DramTimings = OFFCHIP_DDR3,
+    stacked: DramTimings = STACKED_DRAM,
+) -> AccessBreakdown:
+    """SRAM-Tag: TSL, then cache data (set-per-row => always row miss) or memory."""
+    segments: List[Tuple[str, int]] = [("sram-tag-lookup", LOOKUP_LATENCY)]
+    if hit:
+        segments += [
+            ("cache-act", stacked.t_act),
+            ("cache-cas", stacked.t_cas),
+            ("cache-bus", stacked.line_burst),
+        ]
+    else:
+        segments += list(_mem_segments(access_type, mem))
+    return AccessBreakdown("sram-tag", access_type, "hit" if hit else "miss", tuple(segments))
+
+
+def lh_cache_latency(
+    access_type: str,
+    hit: bool,
+    mem: DramTimings = OFFCHIP_DDR3,
+    stacked: DramTimings = STACKED_DRAM,
+) -> AccessBreakdown:
+    """LH-Cache: MissMap (PSL), then tags + tag check + compound data access."""
+    segments: List[Tuple[str, int]] = [("missmap", LOOKUP_LATENCY)]
+    if hit:
+        segments += [
+            ("cache-act", stacked.t_act),
+            ("cache-cas", stacked.t_cas),
+            ("tag-stream", LH_TAG_LINES * stacked.line_burst),
+            ("tag-check", TAG_CHECK),
+            ("data-cas", stacked.t_cas),
+            ("cache-bus", stacked.line_burst),
+        ]
+    else:
+        segments += list(_mem_segments(access_type, mem))
+    return AccessBreakdown("lh-cache", access_type, "hit" if hit else "miss", tuple(segments))
+
+
+def ideal_lo_latency(
+    access_type: str,
+    hit: bool,
+    mem: DramTimings = OFFCHIP_DDR3,
+    stacked: DramTimings = STACKED_DRAM,
+) -> AccessBreakdown:
+    """IDEAL-LO: zero overheads; X hits the cache row buffer too."""
+    if hit:
+        if access_type == "X":
+            segments: Tuple[Tuple[str, int], ...] = (
+                ("cache-cas", stacked.t_cas),
+                ("cache-bus", stacked.line_burst),
+            )
+        else:
+            segments = (
+                ("cache-act", stacked.t_act),
+                ("cache-cas", stacked.t_cas),
+                ("cache-bus", stacked.line_burst),
+            )
+        return AccessBreakdown("ideal-lo", access_type, "hit", segments)
+    return AccessBreakdown("ideal-lo", access_type, "miss", _mem_segments(access_type, mem))
+
+
+def alloy_latency(
+    access_type: str,
+    hit: bool,
+    row_hit: bool,
+    mem: DramTimings = OFFCHIP_DDR3,
+    stacked: DramTimings = STACKED_DRAM,
+    burst_beats: int = 5,
+) -> AccessBreakdown:
+    """Alloy Cache: one TAD burst; parallel memory access on predicted miss.
+
+    A hit is the TAD stream itself (CAS or ACT+CAS plus ``burst_beats`` bus
+    cycles). A correctly-predicted miss costs ``max(memory, TAD probe)``
+    which for realistic parameters is the memory path — shown here as the
+    memory segments alone.
+    """
+    if hit:
+        segments: List[Tuple[str, int]] = []
+        if not row_hit:
+            segments.append(("cache-act", stacked.t_act))
+        segments += [("cache-cas", stacked.t_cas), ("tad-bus", burst_beats)]
+        return AccessBreakdown("alloy", access_type, "hit", tuple(segments))
+    return AccessBreakdown("alloy", access_type, "miss", _mem_segments(access_type, mem))
+
+
+def fig3_table() -> Dict[Tuple[str, str, str], int]:
+    """All Figure 3 totals keyed by (design, access type, hit/miss)."""
+    rows: Dict[Tuple[str, str, str], int] = {}
+    for x in ("X", "Y"):
+        rows[("baseline", x, "miss")] = baseline_latency(x).total
+        for hit in (True, False):
+            event = "hit" if hit else "miss"
+            rows[("sram-tag", x, event)] = sram_tag_latency(x, hit).total
+            rows[("lh-cache", x, event)] = lh_cache_latency(x, hit).total
+            rows[("ideal-lo", x, event)] = ideal_lo_latency(x, hit).total
+        rows[("alloy", x, "hit")] = alloy_latency(x, True, row_hit=(x == "X")).total
+        rows[("alloy", x, "miss")] = alloy_latency(x, False, row_hit=False).total
+    return rows

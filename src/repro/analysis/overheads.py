@@ -1,0 +1,77 @@
+"""Storage-overhead comparison (paper Sections 2.1, 2.2, 5.3 and 6.1).
+
+The paper's practicality argument in numbers:
+
+* **SRAM-Tag** needs ~6 bytes of SRAM per cached 64 B line: 6 MB at 64 MB
+  up to 96 MB (!) of SRAM at 1 GB — "impractical".
+* **LH-Cache's MissMap** needs multi-megabyte tracking state; the paper
+  buries it in the L3, paying the 24-cycle PSL instead of area.
+* **Alloy + MAP-I** needs 96 bytes per core — under 1 KB total.
+
+MissMap storage depends on how the cached lines spread over 4 KB pages:
+the dense bound packs each segment full (capacity / 64 lines per segment);
+the sparse bound puts every line on its own page. Real footprints sit in
+between; either way it is megabytes against MAP's bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cache.missmap import LINES_PER_SEGMENT, SEGMENT_ENTRY_BYTES
+from repro.dramcache.sram_tag import SRAM_TAG_BYTES_PER_LINE
+from repro.units import GB, LINE_SIZE, MB
+
+#: MAP-I storage: 256 x 3-bit entries per core (Section 5.3.2).
+MAP_I_BYTES_PER_CORE = 96
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Non-DRAM storage needed to manage one cache size."""
+
+    cache_bytes: int
+    sram_tag_bytes: int
+    missmap_dense_bytes: int
+    missmap_sparse_bytes: int
+    map_i_bytes: int
+
+
+def sram_tag_overhead(cache_bytes: int) -> int:
+    """SRAM tag-store size: ~6 B per line (24 MB for 256 MB, Section 2.1)."""
+    return (cache_bytes // LINE_SIZE) * SRAM_TAG_BYTES_PER_LINE
+
+
+def missmap_overhead_dense(cache_bytes: int) -> int:
+    """MissMap tracking a fully dense footprint (segments packed full)."""
+    lines = cache_bytes // LINE_SIZE
+    segments = -(-lines // LINES_PER_SEGMENT)
+    return segments * SEGMENT_ENTRY_BYTES
+
+
+def missmap_overhead_sparse(cache_bytes: int) -> int:
+    """MissMap worst case: every cached line on its own 4 KB page."""
+    return (cache_bytes // LINE_SIZE) * SEGMENT_ENTRY_BYTES
+
+
+def map_overhead(num_cores: int = 8) -> int:
+    """MAP-I storage for the whole chip (768 B for 8 cores)."""
+    return MAP_I_BYTES_PER_CORE * num_cores
+
+
+def overhead_table(
+    sizes=(64 * MB, 128 * MB, 256 * MB, 512 * MB, 1 * GB),
+    num_cores: int = 8,
+) -> List[OverheadRow]:
+    """One row per cache size (the Section 6.1 progression)."""
+    return [
+        OverheadRow(
+            cache_bytes=size,
+            sram_tag_bytes=sram_tag_overhead(size),
+            missmap_dense_bytes=missmap_overhead_dense(size),
+            missmap_sparse_bytes=missmap_overhead_sparse(size),
+            map_i_bytes=map_overhead(num_cores),
+        )
+        for size in sizes
+    ]

@@ -1,0 +1,32 @@
+"""Functional cache structures: tag arrays, replacement policies, MissMap.
+
+These classes model cache *contents* only (hits, misses, evictions, dirty
+state). Timing is layered on top by the design classes in
+:mod:`repro.dramcache`, which decide how many DRAM accesses each functional
+event costs.
+"""
+
+from repro.cache.replacement import (
+    ReplacementPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    NRUPolicy,
+    DIPPolicy,
+    make_policy,
+)
+from repro.cache.set_assoc import SetAssocCache, Eviction
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.missmap import MissMap
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "NRUPolicy",
+    "DIPPolicy",
+    "make_policy",
+    "SetAssocCache",
+    "Eviction",
+    "DirectMappedCache",
+    "MissMap",
+]

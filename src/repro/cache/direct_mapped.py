@@ -1,0 +1,106 @@
+"""Functional direct-mapped cache backed by numpy arrays.
+
+The Alloy Cache is direct-mapped with a non-power-of-two set count
+(28 TADs per 2 KB row), so the set index is ``line_address % num_sets``
+(Section 4.1 sketches the cheap residue-arithmetic modulo circuit). A
+direct-mapped array has no replacement state, which is exactly why the
+paper's design avoids replacement-update traffic.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.cache.set_assoc import Eviction
+from repro.stats import StatGroup
+
+
+class DirectMappedCache:
+    """A direct-mapped cache of 64 B lines keyed by line address."""
+
+    def __init__(self, num_sets: int, name: str = "dm-cache") -> None:
+        if num_sets <= 0:
+            raise ValueError("num_sets must be positive")
+        self.num_sets = num_sets
+        self.name = name
+        self._tags = np.full(num_sets, -1, dtype=np.int64)
+        self._dirty = np.zeros(num_sets, dtype=bool)
+        self.stats = StatGroup(name)
+
+    # ------------------------------------------------------------------
+    def set_index(self, line_address: int) -> int:
+        """Set index via modulo mapping (mod-28-per-row in hardware)."""
+        return line_address % self.num_sets
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets
+
+    # ------------------------------------------------------------------
+    def probe(self, line_address: int) -> bool:
+        """Check presence without touching statistics."""
+        return bool(self._tags[self.set_index(line_address)] == line_address)
+
+    def lookup(self, line_address: int, is_write: bool = False) -> bool:
+        """Access the cache; a write hit marks the line dirty."""
+        index = self.set_index(line_address)
+        if self._tags[index] == line_address:
+            if is_write:
+                self._dirty[index] = True
+            self.stats.counter("hits").add()
+            return True
+        self.stats.counter("misses").add()
+        return False
+
+    def fill(self, line_address: int, dirty: bool = False) -> Eviction:
+        """Insert a line, returning the displaced victim (if any)."""
+        index = self.set_index(line_address)
+        old_tag = int(self._tags[index])
+        if old_tag == line_address:
+            self._dirty[index] = self._dirty[index] or dirty
+            return Eviction(valid=False)
+        evicted = (
+            Eviction(valid=True, line_address=old_tag, dirty=bool(self._dirty[index]))
+            if old_tag != -1
+            else Eviction(valid=False)
+        )
+        self._tags[index] = line_address
+        self._dirty[index] = dirty
+        self.stats.counter("fills").add()
+        if evicted.valid:
+            self.stats.counter("evictions").add()
+            if evicted.dirty:
+                self.stats.counter("dirty_evictions").add()
+        return evicted
+
+    def invalidate(self, line_address: int) -> bool:
+        """Remove a line if present; returns whether it was present."""
+        index = self.set_index(line_address)
+        if self._tags[index] == line_address:
+            self._tags[index] = -1
+            self._dirty[index] = False
+            return True
+        return False
+
+    def is_dirty(self, line_address: int) -> bool:
+        """True if the line is present and dirty."""
+        index = self.set_index(line_address)
+        return bool(self._tags[index] == line_address and self._dirty[index])
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> float:
+        """Fraction of sets holding valid lines."""
+        return float(np.count_nonzero(self._tags != -1)) / self.num_sets
+
+    def resident_lines(self) -> List[int]:
+        """All line addresses currently cached (test/debug helper)."""
+        return [int(t) for t in self._tags[self._tags != -1]]
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.stats.counter("hits").value
+        misses = self.stats.counter("misses").value
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,84 @@
+"""Idealized MissMap: exact DRAM-cache presence tracking (Loh & Hill).
+
+The MissMap records which lines are resident in the DRAM cache so that a
+miss can be dispatched to memory without first reading DRAM tags. The paper
+models an *idealized* MissMap — unlimited capacity, perfectly accurate,
+embedded in the L3 and therefore costing one L3 access (24 cycles, the
+*Predictor Serialization Latency*) on every lookup, hit or miss.
+
+We track presence exactly, mirror the real structure's segment-based layout
+only for storage-estimation (each 4 KB page maps to a segment with a 64-bit
+presence vector plus a tag), and leave the latency cost to the timing layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.units import LINE_SIZE
+from repro.stats import StatGroup
+
+#: Lines covered by one MissMap segment (one 4 KB page).
+LINES_PER_SEGMENT = 4096 // LINE_SIZE
+
+#: Bytes per segment entry: ~36-bit page tag + 64-bit presence vector,
+#: rounded to 13 bytes (matches the multi-megabyte estimates in Section 2.2).
+SEGMENT_ENTRY_BYTES = 13
+
+
+class MissMap:
+    """Exact per-line presence map with segment-level storage accounting."""
+
+    def __init__(self, name: str = "missmap") -> None:
+        self.name = name
+        self._present: Set[int] = set()
+        self._segment_population: Dict[int, int] = {}
+        self.stats = StatGroup(name)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _segment(line_address: int) -> int:
+        return line_address // LINES_PER_SEGMENT
+
+    def contains(self, line_address: int) -> bool:
+        """Query presence (costs one L3 access in the timing layer)."""
+        self.stats.counter("lookups").add()
+        present = line_address in self._present
+        self.stats.counter("predicted_hits" if present else "predicted_misses").add()
+        return present
+
+    def insert(self, line_address: int) -> None:
+        """Record that a line was filled into the DRAM cache."""
+        if line_address in self._present:
+            return
+        self._present.add(line_address)
+        seg = self._segment(line_address)
+        self._segment_population[seg] = self._segment_population.get(seg, 0) + 1
+
+    def remove(self, line_address: int) -> None:
+        """Record that a line was evicted from the DRAM cache."""
+        if line_address not in self._present:
+            return
+        self._present.discard(line_address)
+        seg = self._segment(line_address)
+        remaining = self._segment_population[seg] - 1
+        if remaining:
+            self._segment_population[seg] = remaining
+        else:
+            del self._segment_population[seg]
+
+    # ------------------------------------------------------------------
+    @property
+    def tracked_lines(self) -> int:
+        return len(self._present)
+
+    @property
+    def active_segments(self) -> int:
+        return len(self._segment_population)
+
+    def storage_bytes(self) -> int:
+        """Estimated storage a real MissMap of this occupancy would need."""
+        return self.active_segments * SEGMENT_ENTRY_BYTES
+
+    def __contains__(self, line_address: int) -> bool:
+        return line_address in self._present

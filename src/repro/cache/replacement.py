@@ -1,0 +1,198 @@
+"""Replacement policies for set-associative caches.
+
+The paper evaluates the LH-Cache and SRAM-Tag designs with LRU-based DIP
+replacement [Qureshi et al., ISCA 2007] and studies a *random replacement*
+de-optimization (Table 1) that removes the bandwidth cost of replacement
+updates. We implement:
+
+* :class:`LRUPolicy` — true LRU over a per-set recency stack.
+* :class:`RandomPolicy` — uniform random victim, no update state.
+* :class:`NRUPolicy` — not-recently-used single reference bit.
+* :class:`DIPPolicy` — dynamic insertion policy: set-dueling between
+  LRU-insertion and bimodal insertion (BIP), with a saturating PSEL counter.
+
+A policy owns per-set metadata created by :meth:`ReplacementPolicy.make_state`
+and mutated through the hit/insert hooks; the cache structure itself stays
+policy-agnostic.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, List
+
+
+class ReplacementPolicy(ABC):
+    """Interface between a set-associative cache and its replacement logic."""
+
+    #: True if a hit/fill mutates policy metadata that lives in DRAM
+    #: (the LH-Cache pays bus traffic for these updates; random does not).
+    requires_update_traffic: bool = True
+
+    @abstractmethod
+    def make_state(self, ways: int) -> Any:
+        """Create per-set metadata for a set with ``ways`` ways."""
+
+    @abstractmethod
+    def on_hit(self, state: Any, way: int, set_index: int) -> None:
+        """Update metadata after a hit in ``way``."""
+
+    @abstractmethod
+    def victim_way(self, state: Any, set_index: int) -> int:
+        """Choose the way to evict from a full set."""
+
+    @abstractmethod
+    def on_insert(self, state: Any, way: int, set_index: int) -> None:
+        """Update metadata after filling ``way`` with a new line."""
+
+    def on_miss(self, set_index: int) -> None:
+        """Observe a miss in ``set_index`` (used by set-dueling policies)."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used replacement.
+
+    Per-set state is a recency list: position 0 is MRU, the tail is LRU.
+    """
+
+    def make_state(self, ways: int) -> List[int]:
+        return list(range(ways))
+
+    def on_hit(self, state: List[int], way: int, set_index: int) -> None:
+        state.remove(way)
+        state.insert(0, way)
+
+    def victim_way(self, state: List[int], set_index: int) -> int:
+        return state[-1]
+
+    def on_insert(self, state: List[int], way: int, set_index: int) -> None:
+        state.remove(way)
+        state.insert(0, way)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random victim selection with no metadata updates.
+
+    This is the Table 1 de-optimization: no LRU state means no replacement
+    update traffic on hits, reducing DRAM-cache bank contention.
+    """
+
+    requires_update_traffic = False
+
+    def __init__(self, seed: int = 0xC0FFEE) -> None:
+        self._rng = random.Random(seed)
+
+    def make_state(self, ways: int) -> int:
+        return ways
+
+    def on_hit(self, state: int, way: int, set_index: int) -> None:
+        pass
+
+    def victim_way(self, state: int, set_index: int) -> int:
+        return self._rng.randrange(state)
+
+    def on_insert(self, state: int, way: int, set_index: int) -> None:
+        pass
+
+
+class NRUPolicy(ReplacementPolicy):
+    """Not-recently-used: one reference bit per way, cleared on saturation."""
+
+    def make_state(self, ways: int) -> List[bool]:
+        return [False] * ways
+
+    def on_hit(self, state: List[bool], way: int, set_index: int) -> None:
+        state[way] = True
+        if all(state):
+            for i in range(len(state)):
+                state[i] = False
+            state[way] = True
+
+    def victim_way(self, state: List[bool], set_index: int) -> int:
+        for way, referenced in enumerate(state):
+            if not referenced:
+                return way
+        return 0
+
+    def on_insert(self, state: List[bool], way: int, set_index: int) -> None:
+        self.on_hit(state, way, set_index)
+
+
+class DIPPolicy(ReplacementPolicy):
+    """Dynamic Insertion Policy (LRU-based DIP) with set dueling.
+
+    Leader sets are statically assigned: every ``dueling_period``-th set
+    leads for LRU insertion, the next one for BIP. Misses in LRU leaders
+    increment PSEL; misses in BIP leaders decrement it. Follower sets insert
+    at MRU when PSEL's MSB favors LRU-insertion and use bimodal insertion
+    (MRU with probability ``1/bip_epsilon_inverse``, else LRU position)
+    otherwise.
+    """
+
+    def __init__(
+        self,
+        psel_bits: int = 10,
+        bip_epsilon_inverse: int = 32,
+        dueling_period: int = 32,
+        seed: int = 0xD1B,
+    ) -> None:
+        self.psel_max = (1 << psel_bits) - 1
+        self.psel = self.psel_max // 2
+        self.bip_epsilon_inverse = bip_epsilon_inverse
+        self.dueling_period = dueling_period
+        self._rng = random.Random(seed)
+
+    # -- leader-set classification ------------------------------------
+    def _is_lru_leader(self, set_index: int) -> bool:
+        return set_index % self.dueling_period == 0
+
+    def _is_bip_leader(self, set_index: int) -> bool:
+        return set_index % self.dueling_period == 1
+
+    def _use_lru_insertion(self, set_index: int) -> bool:
+        if self._is_lru_leader(set_index):
+            return True
+        if self._is_bip_leader(set_index):
+            return False
+        return self.psel < (self.psel_max + 1) // 2
+
+    # -- policy interface ----------------------------------------------
+    def make_state(self, ways: int) -> List[int]:
+        return list(range(ways))
+
+    def on_hit(self, state: List[int], way: int, set_index: int) -> None:
+        state.remove(way)
+        state.insert(0, way)
+
+    def victim_way(self, state: List[int], set_index: int) -> int:
+        return state[-1]
+
+    def on_miss(self, set_index: int) -> None:
+        if self._is_lru_leader(set_index) and self.psel < self.psel_max:
+            self.psel += 1
+        elif self._is_bip_leader(set_index) and self.psel > 0:
+            self.psel -= 1
+
+    def on_insert(self, state: List[int], way: int, set_index: int) -> None:
+        state.remove(way)
+        if self._use_lru_insertion(set_index):
+            state.insert(0, way)
+        elif self._rng.randrange(self.bip_epsilon_inverse) == 0:
+            state.insert(0, way)  # BIP's occasional MRU insertion
+        else:
+            state.append(way)  # insert at LRU position
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Construct a replacement policy from a config string."""
+    name = name.lower()
+    if name == "lru":
+        return LRUPolicy()
+    if name == "random":
+        return RandomPolicy(seed=seed or 0xC0FFEE)
+    if name == "nru":
+        return NRUPolicy()
+    if name == "dip":
+        return DIPPolicy(seed=seed or 0xD1B)
+    raise ValueError(f"unknown replacement policy: {name!r}")

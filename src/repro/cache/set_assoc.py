@@ -1,0 +1,181 @@
+"""Functional set-associative cache (tag array + dirty bits).
+
+Supports an arbitrary (including non-power-of-two) number of sets, because
+DRAM-cache organizations derive their set counts from row geometry: the
+LH-Cache stores 29 ways per 2 KB row and the Alloy Cache 28 TADs per row, so
+set indices are computed with a modulo, exactly as Section 4.1 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy
+from repro.stats import StatGroup
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A line displaced by a fill (``valid`` is False if the way was empty)."""
+
+    valid: bool
+    line_address: int = -1
+    dirty: bool = False
+
+
+class _Set:
+    """One cache set: parallel tag/valid/dirty arrays plus policy state."""
+
+    __slots__ = ("tags", "dirty", "policy_state")
+
+    def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
+        self.tags: List[int] = [-1] * ways
+        self.dirty: List[bool] = [False] * ways
+        self.policy_state = policy.make_state(ways)
+
+
+class SetAssocCache:
+    """A set-associative cache of 64 B lines, identified by line address.
+
+    The cache stores full line addresses rather than (tag, index) pairs;
+    reconstruction of the evicted address is then exact for any set count.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        policy: Optional[ReplacementPolicy] = None,
+        name: str = "cache",
+    ) -> None:
+        if num_sets <= 0 or ways <= 0:
+            raise ValueError("num_sets and ways must be positive")
+        self.num_sets = num_sets
+        self.ways = ways
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.name = name
+        self._sets: List[_Set] = [_Set(ways, self.policy) for _ in range(num_sets)]
+        self.stats = StatGroup(name)
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def set_index(self, line_address: int) -> int:
+        """Set index of a line address (modulo mapping, Section 4.1)."""
+        return line_address % self.num_sets
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.num_sets * self.ways
+
+    # ------------------------------------------------------------------
+    # Functional operations
+    # ------------------------------------------------------------------
+    def probe(self, line_address: int) -> bool:
+        """Check presence without updating any replacement state."""
+        cset = self._sets[self.set_index(line_address)]
+        return line_address in cset.tags
+
+    def lookup(self, line_address: int, is_write: bool = False) -> bool:
+        """Access the cache: returns hit/miss and updates replacement state.
+
+        A write hit marks the line dirty. A miss only trains the policy
+        (set-dueling counters); the caller decides whether to fill.
+        """
+        index = self.set_index(line_address)
+        cset = self._sets[index]
+        try:
+            way = cset.tags.index(line_address)
+        except ValueError:
+            self.stats.counter("misses").add()
+            self.policy.on_miss(index)
+            return False
+        self.policy.on_hit(cset.policy_state, way, index)
+        if is_write:
+            cset.dirty[way] = True
+        self.stats.counter("hits").add()
+        return True
+
+    def fill(self, line_address: int, dirty: bool = False) -> Eviction:
+        """Insert a line, evicting a victim if the set is full.
+
+        Returns the eviction record so the timing layer can schedule the
+        dirty writeback. Filling a line that is already present refreshes
+        its replacement state instead of duplicating it.
+        """
+        index = self.set_index(line_address)
+        cset = self._sets[index]
+        if line_address in cset.tags:
+            way = cset.tags.index(line_address)
+            cset.dirty[way] = cset.dirty[way] or dirty
+            self.policy.on_insert(cset.policy_state, way, index)
+            return Eviction(valid=False)
+
+        if -1 in cset.tags:
+            way = cset.tags.index(-1)
+            evicted = Eviction(valid=False)
+        else:
+            way = self.policy.victim_way(cset.policy_state, index)
+            evicted = Eviction(
+                valid=True,
+                line_address=cset.tags[way],
+                dirty=cset.dirty[way],
+            )
+        cset.tags[way] = line_address
+        cset.dirty[way] = dirty
+        self.policy.on_insert(cset.policy_state, way, index)
+        self.stats.counter("fills").add()
+        if evicted.valid:
+            self.stats.counter("evictions").add()
+            if evicted.dirty:
+                self.stats.counter("dirty_evictions").add()
+        return evicted
+
+    def invalidate(self, line_address: int) -> bool:
+        """Remove a line if present; returns whether it was present."""
+        cset = self._sets[self.set_index(line_address)]
+        try:
+            way = cset.tags.index(line_address)
+        except ValueError:
+            return False
+        cset.tags[way] = -1
+        cset.dirty[way] = False
+        return True
+
+    def is_dirty(self, line_address: int) -> bool:
+        """True if the line is present and dirty."""
+        cset = self._sets[self.set_index(line_address)]
+        try:
+            way = cset.tags.index(line_address)
+        except ValueError:
+            return False
+        return cset.dirty[way]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def occupancy(self) -> float:
+        """Fraction of ways currently holding valid lines."""
+        filled = sum(
+            1 for cset in self._sets for tag in cset.tags if tag != -1
+        )
+        return filled / self.capacity_lines
+
+    def resident_lines(self) -> List[int]:
+        """All line addresses currently cached (test/debug helper)."""
+        return [
+            tag for cset in self._sets for tag in cset.tags if tag != -1
+        ]
+
+    def set_contents(self, index: int) -> Tuple[List[int], List[bool]]:
+        """Tags and dirty bits of one set (test/debug helper)."""
+        cset = self._sets[index]
+        return list(cset.tags), list(cset.dirty)
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.stats.counter("hits").value
+        misses = self.stats.counter("misses").value
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,125 @@
+"""Command-line interface: regenerate paper tables and figures.
+
+Usage::
+
+    repro --list                 # show every experiment id
+    repro fig4                   # regenerate Figure 4 (full traces)
+    repro table1 fig10 --quick   # quick mode (short traces)
+    repro all --quick            # everything
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Tuple
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _run_one(args: Tuple[str, bool]):
+    """Worker entry point: run one experiment, return (id, result, seconds)."""
+    experiment_id, quick = args
+    started = time.time()
+    result = run_experiment(experiment_id, quick=quick)
+    return experiment_id, result, time.time() - started
+
+
+def _run_all(requested, quick: bool, jobs: int):
+    """Run experiments serially or over a process pool, preserving order."""
+    work = [(experiment_id, quick) for experiment_id in requested]
+    if jobs <= 1 or len(work) == 1:
+        return [_run_one(item) for item in work]
+    import multiprocessing
+
+    with multiprocessing.Pool(min(jobs, len(work))) as pool:
+        return pool.map(_run_one, work)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Fundamental Latency Trade-offs in Architecting "
+            "DRAM Caches' (Qureshi & Loh, MICRO 2012)"
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (e.g. fig4 table1), or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="short traces for a fast smoke run",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write each experiment's table as DIR/<id>.csv",
+    )
+    parser.add_argument(
+        "--bars",
+        action="store_true",
+        help="also render numeric columns as ASCII bar charts",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments in N parallel worker processes",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for experiment_id in EXPERIMENTS:
+            print(f"  {experiment_id}")
+        return 0
+
+    requested = list(args.experiments)
+    if requested == ["all"]:
+        requested = list(EXPERIMENTS)
+
+    unknown = [e for e in requested if e.lower() not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    prepared = _run_all(requested, args.quick, args.jobs)
+    for experiment_id, result, elapsed in prepared:
+        print(result.render())
+        if args.bars:
+            from repro.experiments.report import render_bars
+
+            for header in result.headers[1:]:
+                column = result.column(header)
+                if column and all(isinstance(c, (int, float)) for c in column):
+                    print()
+                    print(render_bars(result, header))
+                    break
+        print(f"({elapsed:.1f}s)")
+        print()
+        if args.csv:
+            from pathlib import Path
+
+            from repro.experiments.report import write_csv
+
+            out_dir = Path(args.csv)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            write_csv(result, out_dir / f"{experiment_id}.csv")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: Alloy Cache + Memory Access Prediction.
+
+* :mod:`repro.core.tad` — TAD (tag-and-data) geometry: how 28 TADs pack into
+  a 2 KB stacked-DRAM row, bus-alignment rules, and burst-length math.
+* :mod:`repro.core.alloy` — the functional Alloy Cache (direct-mapped, with
+  the two-way variant of Section 6.7).
+* :mod:`repro.core.predictors` — memory access predictors: SAM, PAM, MAP-G,
+  MAP-I (with folded-XOR hashing) and the perfect oracle.
+"""
+
+from repro.core.tad import AlloyGeometry, TadTransfer
+from repro.core.alloy import AlloyCache
+from repro.core.predictors import (
+    MemoryAccessPredictor,
+    SamPredictor,
+    PamPredictor,
+    MapGPredictor,
+    MapIPredictor,
+    PerfectPredictor,
+    folded_xor,
+    make_predictor,
+)
+
+__all__ = [
+    "AlloyGeometry",
+    "TadTransfer",
+    "AlloyCache",
+    "MemoryAccessPredictor",
+    "SamPredictor",
+    "PamPredictor",
+    "MapGPredictor",
+    "MapIPredictor",
+    "PerfectPredictor",
+    "folded_xor",
+    "make_predictor",
+]

@@ -1,0 +1,89 @@
+"""Functional Alloy Cache: contents, hits and victims (paper Section 4).
+
+This class tracks *what is cached*; the timing design in
+:mod:`repro.dramcache.alloy` layers DRAM access costs on top using the
+geometry from :mod:`repro.core.tad`.
+
+The default configuration is direct-mapped — the paper's central
+de-optimization. ``ways=2`` gives the Section 6.7 two-way variant, which
+streams two TADs per access and selects victims with LRU.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.replacement import LRUPolicy
+from repro.cache.set_assoc import Eviction, SetAssocCache
+from repro.core.tad import AlloyGeometry
+
+
+class AlloyCache:
+    """Functional model of the Alloy Cache.
+
+    Capacity accounting matches the paper: a nominal ``capacity_bytes`` of
+    stacked DRAM stores ``28/32`` of that as data lines because each 2 KB
+    row holds 28 TADs (Section 4.1).
+    """
+
+    def __init__(self, capacity_bytes: int, ways: int = 1, name: str = "alloy") -> None:
+        self.geometry = AlloyGeometry(capacity_bytes, ways=ways)
+        self.ways = ways
+        self.name = name
+        if ways == 1:
+            self._store = DirectMappedCache(self.geometry.num_sets, name=name)
+        else:
+            self._store = SetAssocCache(
+                self.geometry.num_sets, ways, policy=LRUPolicy(), name=name
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_sets(self) -> int:
+        return self.geometry.num_sets
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.geometry.num_sets * self.ways
+
+    @property
+    def stats(self):
+        return self._store.stats
+
+    @property
+    def hit_rate(self) -> float:
+        return self._store.hit_rate
+
+    # ------------------------------------------------------------------
+    def set_index(self, line_address: int) -> int:
+        return self.geometry.set_index(line_address)
+
+    def row_of(self, line_address: int) -> int:
+        """Stacked-DRAM row that this line's set lives in."""
+        return self.geometry.row_of_set(self.set_index(line_address))
+
+    def probe(self, line_address: int) -> bool:
+        """Presence check without statistics or replacement updates."""
+        return self._store.probe(line_address)
+
+    def lookup(self, line_address: int, is_write: bool = False) -> bool:
+        """Access the cache (the tag check on the streamed-out TAD)."""
+        return self._store.lookup(line_address, is_write=is_write)
+
+    def fill(self, line_address: int, dirty: bool = False) -> Eviction:
+        """Install a line; the victim TAD was already streamed out by the
+        probe, so its dirty data needs no extra read before writeback."""
+        return self._store.fill(line_address, dirty=dirty)
+
+    def invalidate(self, line_address: int) -> bool:
+        return self._store.invalidate(line_address)
+
+    def is_dirty(self, line_address: int) -> bool:
+        return self._store.is_dirty(line_address)
+
+    def occupancy(self) -> float:
+        return self._store.occupancy()
+
+    def resident_lines(self) -> List[int]:
+        return self._store.resident_lines()

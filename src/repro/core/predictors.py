@@ -1,0 +1,222 @@
+"""Memory Access Predictors (paper Section 5).
+
+An L3 miss can be serviced under the Serial Access Model (SAM: probe the
+DRAM cache, go to memory only on a confirmed miss) or the Parallel Access
+Model (PAM: probe cache and memory together). The Dynamic Access Model (DAM)
+chooses per-access using a *Memory Access Predictor*:
+
+* :class:`SamPredictor` — static "always cache hit" (pure SAM).
+* :class:`PamPredictor` — static "never cache hit" (pure PAM).
+* :class:`MapGPredictor` — MAP-Global: one 3-bit saturating Memory Access
+  Counter (MAC) per core, trained on whether recent L3 misses were serviced
+  by memory; the MSB selects PAM.
+* :class:`MapIPredictor` — MAP-Instruction: a per-core, 256-entry Memory
+  Access Counter Table (MACT) indexed by a folded-XOR hash of the miss-
+  causing instruction address. Storage: 256 x 3 bits = 96 bytes per core.
+* :class:`PerfectPredictor` — oracle with 100% accuracy and zero latency.
+
+All predictors cost one cycle (modeled in the timing layer) except the
+perfect oracle, and none predicts for writes — writebacks are not on the
+critical path and always use SAM (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+#: Width of the saturating Memory Access Counters (paper uses 3 bits).
+MAC_BITS = 3
+MAC_MAX = (1 << MAC_BITS) - 1
+MAC_MSB_THRESHOLD = 1 << (MAC_BITS - 1)
+
+#: Entries in the per-core Memory Access Counter Table (8-bit index).
+MACT_ENTRIES = 256
+
+
+def folded_xor(value: int, output_bits: int) -> int:
+    """Fold ``value`` into ``output_bits`` by XOR-ing successive chunks.
+
+    This is the hashing scheme the paper borrows from Seznec & Michaud's
+    folded-history indexing: cheap, and spreads instruction addresses
+    uniformly over the small MACT.
+    """
+    if output_bits <= 0:
+        raise ValueError("output_bits must be positive")
+    mask = (1 << output_bits) - 1
+    folded = 0
+    value &= (1 << 64) - 1
+    while value:
+        folded ^= value & mask
+        value >>= output_bits
+    return folded
+
+
+class MemoryAccessPredictor(ABC):
+    """Predicts whether an L3 miss will be serviced by off-chip memory.
+
+    ``predict`` returning True means "expect a DRAM-cache miss, launch the
+    memory access in parallel" (PAM); False means "expect a hit, serialize"
+    (SAM). ``update`` trains on the actual outcome.
+    """
+
+    #: Prediction latency in cycles (1 for the MAP family, per Section 5).
+    latency_cycles: int = 1
+
+    #: Perfect predictors are consulted with oracle knowledge by the system.
+    is_perfect: bool = False
+
+    def __init__(self, num_cores: int) -> None:
+        self.num_cores = num_cores
+        self.predicted_memory = 0
+        self.predicted_cache = 0
+
+    @abstractmethod
+    def predict(self, core_id: int, pc: int) -> bool:
+        """Predict True if this L3 miss will be serviced by memory."""
+
+    @abstractmethod
+    def update(self, core_id: int, pc: int, went_to_memory: bool) -> None:
+        """Train on the actual outcome of an L3 miss."""
+
+    def storage_bits_per_core(self) -> int:
+        """Predictor state per core, in bits (0 for the static models)."""
+        return 0
+
+    def _note(self, prediction: bool) -> bool:
+        if prediction:
+            self.predicted_memory += 1
+        else:
+            self.predicted_cache += 1
+        return prediction
+
+
+class SamPredictor(MemoryAccessPredictor):
+    """Serial Access Model: always predict a DRAM-cache hit."""
+
+    latency_cycles = 0
+
+    def predict(self, core_id: int, pc: int) -> bool:
+        return self._note(False)
+
+    def update(self, core_id: int, pc: int, went_to_memory: bool) -> None:
+        pass
+
+
+class PamPredictor(MemoryAccessPredictor):
+    """Parallel Access Model: always predict a memory access."""
+
+    latency_cycles = 0
+
+    def predict(self, core_id: int, pc: int) -> bool:
+        return self._note(True)
+
+    def update(self, core_id: int, pc: int, went_to_memory: bool) -> None:
+        pass
+
+
+class MapGPredictor(MemoryAccessPredictor):
+    """MAP-Global: one 3-bit saturating MAC per core.
+
+    Incremented when an L3 miss is serviced by memory, decremented when it
+    hits in the DRAM cache; the MSB selects PAM. Storage: 3 bits per core.
+    """
+
+    def __init__(self, num_cores: int) -> None:
+        super().__init__(num_cores)
+        self._mac: List[int] = [MAC_MSB_THRESHOLD] * num_cores
+
+    def predict(self, core_id: int, pc: int) -> bool:
+        return self._note(self._mac[core_id] >= MAC_MSB_THRESHOLD)
+
+    def update(self, core_id: int, pc: int, went_to_memory: bool) -> None:
+        if went_to_memory:
+            self._mac[core_id] = min(self._mac[core_id] + 1, MAC_MAX)
+        else:
+            self._mac[core_id] = max(self._mac[core_id] - 1, 0)
+
+    def storage_bits_per_core(self) -> int:
+        return MAC_BITS
+
+    def counter(self, core_id: int) -> int:
+        """Current MAC value (test/debug helper)."""
+        return self._mac[core_id]
+
+
+class MapIPredictor(MemoryAccessPredictor):
+    """MAP-Instruction: per-core 256-entry MACT indexed by hashed PC.
+
+    The instruction address of the miss-causing load is folded-XOR hashed to
+    8 bits; each entry is a 3-bit MAC. Storage: 256 x 3 bits = 96 bytes per
+    core (768 bytes for the 8-core system).
+    """
+
+    def __init__(self, num_cores: int, entries: int = MACT_ENTRIES) -> None:
+        super().__init__(num_cores)
+        if entries & (entries - 1):
+            raise ValueError("MACT entry count must be a power of two")
+        self.entries = entries
+        self._index_bits = entries.bit_length() - 1
+        self._mact: List[List[int]] = [
+            [MAC_MSB_THRESHOLD] * entries for _ in range(num_cores)
+        ]
+
+    def _index(self, pc: int) -> int:
+        return folded_xor(pc, self._index_bits)
+
+    def predict(self, core_id: int, pc: int) -> bool:
+        mac = self._mact[core_id][self._index(pc)]
+        return self._note(mac >= MAC_MSB_THRESHOLD)
+
+    def update(self, core_id: int, pc: int, went_to_memory: bool) -> None:
+        idx = self._index(pc)
+        mac = self._mact[core_id][idx]
+        if went_to_memory:
+            self._mact[core_id][idx] = min(mac + 1, MAC_MAX)
+        else:
+            self._mact[core_id][idx] = max(mac - 1, 0)
+
+    def storage_bits_per_core(self) -> int:
+        return self.entries * MAC_BITS
+
+    def counter(self, core_id: int, pc: int) -> int:
+        """Current MAC value for ``pc`` (test/debug helper)."""
+        return self._mact[core_id][self._index(pc)]
+
+
+class PerfectPredictor(MemoryAccessPredictor):
+    """Oracle: 100% accuracy at zero latency (upper bound, Section 5.4)."""
+
+    latency_cycles = 0
+    is_perfect = True
+
+    def predict(self, core_id: int, pc: int) -> bool:
+        raise RuntimeError(
+            "PerfectPredictor must be consulted via predict_with_oracle()"
+        )
+
+    def predict_with_oracle(self, actual_memory_access: bool) -> bool:
+        """Return the ground-truth outcome supplied by the simulator."""
+        return self._note(actual_memory_access)
+
+    def update(self, core_id: int, pc: int, went_to_memory: bool) -> None:
+        pass
+
+
+_PREDICTORS = {
+    "sam": SamPredictor,
+    "pam": PamPredictor,
+    "map-g": MapGPredictor,
+    "map-i": MapIPredictor,
+    "perfect": PerfectPredictor,
+}
+
+
+def make_predictor(name: str, num_cores: int) -> MemoryAccessPredictor:
+    """Construct a predictor from a config string (``sam``, ``map-i``, ...)."""
+    key = name.lower()
+    if key not in _PREDICTORS:
+        raise ValueError(
+            f"unknown predictor {name!r}; choose from {sorted(_PREDICTORS)}"
+        )
+    return _PREDICTORS[key](num_cores)

@@ -1,0 +1,130 @@
+"""TAD (Tag-and-Data) geometry for the Alloy Cache (paper Section 4.1).
+
+A TAD fuses one 64 B data line with its 8 B tag into a 72 B unit. A 2 KB
+stacked-DRAM row holds 28 TADs (32 bytes left unused). Because the stacked
+data bus is 16 B wide and transfers are bus-aligned, reading one TAD streams
+**80 bytes** — five bus beats — where the first 8 bytes are ignored for odd
+sets and the last 8 for even sets (Figure 5).
+
+The set index is ``line_address mod num_sets`` with a non-power-of-two set
+count; Section 4.1 sketches the residue-arithmetic mod-28 circuit and budgets
+two cycles for it, hidden under the L3 access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import (
+    LINE_SIZE,
+    ROW_BUFFER_SIZE,
+    STACKED_BUS_BYTES,
+    TAD_SIZE,
+    TADS_PER_ROW,
+)
+
+
+@dataclass(frozen=True)
+class TadTransfer:
+    """One TAD read/write as it appears on the stacked-DRAM bus.
+
+    Attributes:
+        bytes_on_bus: Total bytes streamed (bus-aligned).
+        bus_beats: Number of 16 B bus transfers.
+        ignored_leading_bytes: Alignment padding before the TAD.
+        ignored_trailing_bytes: Alignment padding after the TAD.
+    """
+
+    bytes_on_bus: int
+    bus_beats: int
+    ignored_leading_bytes: int
+    ignored_trailing_bytes: int
+
+    @property
+    def useful_bytes(self) -> int:
+        return self.bytes_on_bus - self.ignored_leading_bytes - self.ignored_trailing_bytes
+
+
+class AlloyGeometry:
+    """Maps Alloy-Cache sets onto stacked-DRAM rows.
+
+    ``ways`` > 1 models the two-way variant of Section 6.7 where each access
+    streams two adjacent TADs; capacity per row is unchanged (28 TADs) but a
+    set then spans ``ways`` TAD slots.
+    """
+
+    def __init__(self, capacity_bytes: int, ways: int = 1) -> None:
+        if capacity_bytes % ROW_BUFFER_SIZE:
+            raise ValueError("capacity must be a whole number of 2 KB rows")
+        if ways not in (1, 2):
+            raise ValueError("the Alloy Cache supports 1 or 2 ways")
+        self.capacity_bytes = capacity_bytes
+        self.ways = ways
+        self.num_rows = capacity_bytes // ROW_BUFFER_SIZE
+        self.tads_per_row = TADS_PER_ROW
+        self.sets_per_row = TADS_PER_ROW // ways
+        self.num_sets = self.num_rows * self.sets_per_row
+
+    # ------------------------------------------------------------------
+    @property
+    def data_capacity_bytes(self) -> int:
+        """Bytes of actual data storage (capacity minus tag + padding)."""
+        return self.num_rows * self.tads_per_row * LINE_SIZE
+
+    @property
+    def unused_bytes_per_row(self) -> int:
+        return ROW_BUFFER_SIZE - self.tads_per_row * TAD_SIZE  # 32
+
+    def set_index(self, line_address: int) -> int:
+        """Set index of a line address (mod-num_sets residue arithmetic)."""
+        return line_address % self.num_sets
+
+    def row_of_set(self, set_index: int) -> int:
+        """Stacked-DRAM row holding ``set_index``.
+
+        Consecutive sets share a row (28 per row), which is what restores
+        row-buffer locality for spatially local streams — the direct
+        de-optimization benefit measured in Table 1.
+        """
+        return set_index // self.sets_per_row
+
+    def slot_of_set(self, set_index: int) -> int:
+        """TAD slot (0..27) of the first way of ``set_index`` within its row."""
+        return (set_index % self.sets_per_row) * self.ways
+
+    def byte_offset_of_set(self, set_index: int) -> int:
+        """Byte offset of the set's first TAD within its row."""
+        return self.slot_of_set(set_index) * TAD_SIZE
+
+    # ------------------------------------------------------------------
+    def transfer_for_set(self, set_index: int, burst_beats: int = 0) -> TadTransfer:
+        """Describe the bus transfer that reads this set's TAD(s).
+
+        With the default burst the transfer is bus-aligned around the TAD
+        (five beats for one TAD, Section 4.1). ``burst_beats`` can force a
+        power-of-two burst (e.g. 8 beats = 128 B) for the Section 6.5 study.
+        """
+        tad_bytes = TAD_SIZE * self.ways
+        offset = self.byte_offset_of_set(set_index)
+        aligned_start = (offset // STACKED_BUS_BYTES) * STACKED_BUS_BYTES
+        leading = offset - aligned_start
+        end = offset + tad_bytes
+        aligned_end = -(-end // STACKED_BUS_BYTES) * STACKED_BUS_BYTES
+        trailing = aligned_end - end
+        beats = (aligned_end - aligned_start) // STACKED_BUS_BYTES
+        if burst_beats:
+            if burst_beats * STACKED_BUS_BYTES < tad_bytes:
+                raise ValueError("forced burst too short for a TAD")
+            extra = burst_beats - beats
+            beats = burst_beats
+            trailing += max(extra, 0) * STACKED_BUS_BYTES
+        return TadTransfer(
+            bytes_on_bus=beats * STACKED_BUS_BYTES,
+            bus_beats=beats,
+            ignored_leading_bytes=leading,
+            ignored_trailing_bytes=trailing,
+        )
+
+    def same_row(self, set_a: int, set_b: int) -> bool:
+        """True if two sets live in the same stacked-DRAM row."""
+        return self.row_of_set(set_a) == self.row_of_set(set_b)

@@ -1,0 +1,24 @@
+"""DRAM timing substrate: device model, timings and address mapping.
+
+The device model is a *resource-timeline* simulator: each bank and each
+per-channel data bus is a reservable resource with a ``free_at`` time. A
+request computes its start time from resource availability, pays the row
+activation / column access latencies from :class:`~repro.dram.timings.DramTimings`,
+and reserves the bus for its burst. Queueing delay therefore emerges from
+contention, which is what differentiates bandwidth-hungry designs (LH-Cache)
+from lean ones (Alloy Cache) in the paper.
+"""
+
+from repro.dram.timings import DramTimings, OFFCHIP_DDR3, STACKED_DRAM
+from repro.dram.mapping import AddressMapping, RowLocation
+from repro.dram.device import DramDevice, AccessResult
+
+__all__ = [
+    "DramTimings",
+    "OFFCHIP_DDR3",
+    "STACKED_DRAM",
+    "AddressMapping",
+    "RowLocation",
+    "DramDevice",
+    "AccessResult",
+]

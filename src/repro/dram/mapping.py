@@ -1,0 +1,58 @@
+"""Address mapping: line addresses to (channel, bank, row) coordinates.
+
+Off-chip DRAM interleaves channels (and banks) at *row* granularity:
+32 consecutive lines share one row on one channel, then the stream moves to
+the next channel. Sequential streams therefore enjoy long runs of row-buffer
+hits (the paper's "type X" accesses) while scattered accesses keep opening
+new rows ("type Y").
+
+DRAM-cache designs do **not** map addresses this way — each design maps its
+*set index* onto stacked-DRAM rows itself (e.g. LH-Cache maps one set per
+row; the Alloy Cache packs 28 consecutive sets into a row). Designs therefore
+construct :class:`RowLocation` values directly and hand them to the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import LINE_SIZE
+
+
+@dataclass(frozen=True)
+class RowLocation:
+    """A physical (channel, bank, row) coordinate inside a DRAM device."""
+
+    channel: int
+    bank: int
+    row: int
+
+
+class AddressMapping:
+    """Decodes line addresses into device coordinates.
+
+    Layout, from least- to most-significant line-address bits:
+    ``line-in-row : channel : bank : row``. One row's worth of consecutive
+    lines lands in a single bank's row buffer; the next row-sized chunk moves
+    to the next channel, then the next bank.
+    """
+
+    def __init__(self, channels: int, banks_per_channel: int, row_bytes: int) -> None:
+        if row_bytes % LINE_SIZE:
+            raise ValueError("row size must be a whole number of lines")
+        self.channels = channels
+        self.banks = banks_per_channel
+        self.lines_per_row = row_bytes // LINE_SIZE
+
+    def locate(self, line_address: int) -> RowLocation:
+        """Map a line address to its (channel, bank, row) coordinate."""
+        row_chunk = line_address // self.lines_per_row
+        channel = row_chunk % self.channels
+        per_channel = row_chunk // self.channels
+        bank = per_channel % self.banks
+        row = per_channel // self.banks
+        return RowLocation(channel=channel, bank=bank, row=row)
+
+    def same_row(self, a: int, b: int) -> bool:
+        """True if two line addresses land in the same open row."""
+        return self.locate(a) == self.locate(b)

@@ -1,0 +1,108 @@
+"""DRAM timing parameters (paper Table 2 / Section 2.4).
+
+All values are in 4 GHz processor cycles, exactly as the paper reports them:
+
+* Off-chip DDR3: ``tACT = tCAS = 36`` cycles, 16 cycles to move one 64 B line
+  over the 64-bit channel bus; 2 channels x 8 banks.
+* Stacked DRAM: ``tACT = tCAS = 18`` cycles, 4 cycles per 64 B line over the
+  128-bit channel bus; 4 channels x 8 banks.
+
+The paper's latency breakdown (Figure 3) folds precharge into the activation
+cost — a row-buffer hit costs CAS only and a row miss costs ACT + CAS. We
+keep an explicit ``t_rp`` so closed-page studies remain possible, but the
+paper-faithful presets set it to zero and charge ACT for any non-open row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.units import LINE_SIZE
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Timing and geometry for one DRAM device (off-chip or stacked).
+
+    Attributes:
+        name: Human-readable preset name used in reports.
+        t_act: Row activation latency (cycles) — charged when the target row
+            is not already open in the bank's row buffer.
+        t_cas: Column access latency (cycles) — charged on every access.
+        t_rp: Explicit precharge latency charged when a *different* row is
+            open. The paper folds this into ``t_act`` so presets use 0.
+        line_burst: Bus cycles to transfer one 64 B line.
+        bus_bytes: Bus width in bytes (one transfer beat).
+        channels: Independent channels, each with its own data bus.
+        banks_per_channel: Banks per channel, each with one row buffer.
+        row_bytes: Row-buffer size in bytes.
+    """
+
+    name: str
+    t_act: int
+    t_cas: int
+    t_rp: int
+    line_burst: int
+    bus_bytes: int
+    channels: int
+    banks_per_channel: int
+    row_bytes: int
+
+    @property
+    def burst_cycle(self) -> float:
+        """Bus cycles to transfer one ``bus_bytes`` beat."""
+        return self.line_burst * self.bus_bytes / LINE_SIZE
+
+    def burst_cycles(self, num_bytes: int) -> int:
+        """Bus cycles to transfer ``num_bytes`` (rounded up to bus beats)."""
+        beats = -(-num_bytes // self.bus_bytes)  # ceil division
+        total_beats_per_line = LINE_SIZE // self.bus_bytes
+        return -(-beats * self.line_burst // total_beats_per_line)
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Cycles from request start to first data beat on a closed row."""
+        return self.t_act + self.t_cas
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Cycles from request start to first data beat on an open row."""
+        return self.t_cas
+
+    def line_access_latency(self, row_hit: bool) -> int:
+        """End-to-end cycles for one isolated 64 B line access."""
+        core = self.row_hit_latency if row_hit else self.row_miss_latency
+        return core + self.line_burst
+
+    def scaled(self, **overrides: int) -> "DramTimings":
+        """Return a copy with some fields overridden (for sensitivity runs)."""
+        return replace(self, **overrides)
+
+
+#: Off-chip DDR3-1600 per paper Table 2, expressed in 4 GHz CPU cycles.
+#: ACT 36, CAS 36, 16 cycles to transfer one 64 B line on the 64-bit bus.
+OFFCHIP_DDR3 = DramTimings(
+    name="offchip-ddr3",
+    t_act=36,
+    t_cas=36,
+    t_rp=0,
+    line_burst=16,
+    bus_bytes=8,
+    channels=2,
+    banks_per_channel=8,
+    row_bytes=2048,
+)
+
+#: Die-stacked DRAM per paper Table 2: 4 channels, 128-bit bus; ACT 18,
+#: CAS 18, 4 cycles per 64 B line.
+STACKED_DRAM = DramTimings(
+    name="stacked-dram",
+    t_act=18,
+    t_cas=18,
+    t_rp=0,
+    line_burst=4,
+    bus_bytes=16,
+    channels=4,
+    banks_per_channel=8,
+    row_bytes=2048,
+)

@@ -1,0 +1,28 @@
+"""DRAM-cache timing designs: one class per organization the paper studies.
+
+Each design combines a functional cache model (what is resident) with a
+timing policy (which DRAM accesses each event costs, and in what order).
+All designs share the same interface, :class:`~repro.dramcache.base.DramCacheDesign`,
+so the system simulator and the experiment harness treat them uniformly.
+"""
+
+from repro.dramcache.base import AccessOutcome, DramCacheDesign
+from repro.dramcache.no_cache import NoCacheDesign, PerfectL3Design
+from repro.dramcache.sram_tag import SramTagDesign
+from repro.dramcache.lh_cache import LHCacheDesign
+from repro.dramcache.alloy import AlloyCacheDesign
+from repro.dramcache.ideal_lo import IdealLODesign
+from repro.dramcache.factory import make_design, DESIGN_NAMES
+
+__all__ = [
+    "AccessOutcome",
+    "DramCacheDesign",
+    "NoCacheDesign",
+    "PerfectL3Design",
+    "SramTagDesign",
+    "LHCacheDesign",
+    "AlloyCacheDesign",
+    "IdealLODesign",
+    "make_design",
+    "DESIGN_NAMES",
+]

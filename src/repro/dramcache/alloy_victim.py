@@ -1,0 +1,141 @@
+"""Alloy Cache + SRAM victim buffer (the paper's §6.7 future-work direction).
+
+The paper closes by inviting research into reducing the direct-mapped Alloy
+Cache's conflict misses *without* hurting hit latency. This design explores
+the classic answer: a small fully-associative SRAM victim buffer
+(Jouppi-style) holding the last N evicted TADs.
+
+* The buffer is SRAM next to the cache controller: it is probed in parallel
+  with the MAP predictor, so a victim hit is served in a few cycles and the
+  TAD probe / memory access are skipped entirely.
+* On a DRAM-cache fill, the displaced TAD moves into the victim buffer; a
+  line falling out of the buffer goes to memory if dirty.
+* On a victim hit the line is *swapped back*: it refills the DRAM cache
+  (background) and the displaced occupant takes its slot in the buffer.
+
+Conflict pairs that ping-pong in the direct-mapped array therefore ride the
+buffer — recovering associativity where it is needed while keeping the
+common-case hit a single 80-byte TAD burst.
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement import LRUPolicy
+from repro.cache.set_assoc import SetAssocCache
+from repro.dramcache.alloy import AlloyCacheDesign
+from repro.dramcache.base import AccessOutcome
+
+#: Cycles to read a line out of the small SRAM victim buffer.
+VICTIM_HIT_CYCLES = 3
+
+
+class AlloyVictimDesign(AlloyCacheDesign):
+    """Direct-mapped Alloy Cache backed by an SRAM victim buffer."""
+
+    def __init__(
+        self,
+        config,
+        stacked,
+        memory,
+        schedule,
+        predictor=None,
+        victim_entries: int = 16,
+    ) -> None:
+        from repro.cache.missmap import MissMap
+
+        if isinstance(predictor, MissMap):
+            raise ValueError("the victim-buffer variant does not take a MissMap")
+        super().__init__(config, stacked, memory, schedule, predictor=predictor)
+        self.name = f"{self.name}+victim{victim_entries}"
+        self.stats.name = self.name
+        self.victim_entries = victim_entries
+        #: Fully associative LRU buffer of evicted lines (one set, N ways).
+        self.victims = SetAssocCache(
+            1, victim_entries, policy=LRUPolicy(), name=f"{self.name}-buffer"
+        )
+
+    # ------------------------------------------------------------------
+    def warm(self, line_address, is_write, pc, core_id):
+        if not is_write and self.victims.probe(line_address):
+            self.victims.lookup(line_address)  # refresh buffer LRU state
+            self._swap_back_functional(line_address)
+            self._train(core_id, pc, went_to_memory=False)
+            return
+        hit = self.cache.lookup(line_address, is_write=is_write)
+        if is_write:
+            return
+        if not hit:
+            evicted = self.cache.fill(line_address)
+            if evicted.valid:
+                self._stash_victim_functional(evicted)
+        self._train(core_id, pc, went_to_memory=not hit)
+
+    def access(self, now, line_address, is_write, pc, core_id):
+        if not is_write and self.victims.lookup(line_address):
+            # SRAM victim hit: served without touching DRAM at all.
+            self.stats.counter("victim_hits").add()
+            self._classify(predicted_memory=False, actual_memory=False)
+            done = now + VICTIM_HIT_CYCLES
+            self._record_read(hit=True, latency=done - now)
+            self._train(core_id, pc, went_to_memory=False)
+            self._swap_back(now, line_address)
+            return AccessOutcome(
+                done=done, cache_hit=True, served_by_memory=False,
+                predicted_memory=False,
+            )
+        return super().access(now, line_address, is_write, pc, core_id)
+
+    # ------------------------------------------------------------------
+    def _swap_back_functional(self, line_address: int) -> None:
+        """Move a buffered line back into the cache, displacing the occupant
+        into the buffer (functional part shared with warmup)."""
+        dirty = self.victims.is_dirty(line_address)
+        self.victims.invalidate(line_address)
+        displaced = self.cache.fill(line_address, dirty=dirty)
+        if displaced.valid:
+            self._stash_victim_functional(displaced)
+
+    def _stash_victim_functional(self, evicted) -> None:
+        overflow = self.victims.fill(evicted.line_address, dirty=evicted.dirty)
+        if overflow.valid and overflow.dirty:
+            self._overflow_writeback(overflow.line_address)
+
+    def _overflow_writeback(self, line_address: int) -> None:
+        self.schedule(0.0, lambda t, a=line_address: self._memory_write(t, a))
+
+    def _swap_back(self, now: float, line_address: int) -> None:
+        self._swap_back_functional(line_address)
+        # The refill writes a TAD into the DRAM cache in the background.
+        set_index, loc = self._set_and_loc(line_address)
+        self.schedule(
+            now,
+            lambda t, loc=loc, burst=self._tad_burst(set_index): self.stacked.access(
+                t, loc, burst, is_write=True, background=True
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def _fill(self, now: float, line_address: int) -> None:
+        """As the base fill, but displaced victims drop into the buffer
+        instead of (if dirty) going straight to memory."""
+        set_index, loc = self._set_and_loc(line_address)
+        burst = self._tad_burst(set_index)
+        evicted = self.cache.fill(line_address)
+        if evicted.valid:
+            self._stash_victim_functional(evicted)
+        self.stacked.access(now, loc, burst, is_write=True, background=True)
+        self.stats.counter("fills").add()
+
+    # ------------------------------------------------------------------
+    @property
+    def victim_hit_rate(self) -> float:
+        hits = self.stats.counter("victim_hits").value
+        reads = (
+            self.stats.counter("read_hits").value
+            + self.stats.counter("read_misses").value
+        )
+        return hits / reads if reads else 0.0
+
+    def sram_overhead_bytes(self) -> int:
+        """Victim buffer SRAM: N x 72 B TADs (still tiny vs SRAM-Tags)."""
+        return self.victim_entries * 72

@@ -1,0 +1,171 @@
+"""Design interface and shared plumbing for DRAM-cache organizations.
+
+A design receives every L3 miss (reads block the issuing core; writes are
+posted L3 writebacks) and returns an :class:`AccessOutcome` whose ``done``
+time is when read data is available to the core. Background work — fills,
+replacement updates, dirty writebacks — is posted through a scheduler
+callback so device reservations happen in (approximate) time order.
+
+Common accounting lives here so that every design reports hit rate, average
+hit latency and traffic identically (Figures 4/6/8/10, Tables 1/5/6).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.dram.device import DramDevice
+from repro.dram.mapping import RowLocation
+from repro.sim.config import SystemConfig
+from repro.stats import Histogram, StatGroup
+
+#: Bucket edges (cycles) for hit/read latency distributions.
+LATENCY_BUCKETS = (25, 50, 75, 100, 150, 200, 300, 500)
+
+#: Scheduler signature: ``schedule(when, fn)`` runs ``fn(when)`` at ``when``.
+Scheduler = Callable[[float, Callable[[float], None]], None]
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one L3 miss handled by a DRAM-cache design.
+
+    Attributes:
+        done: Cycle at which read data is available (== issue time for
+            posted writes).
+        cache_hit: Whether the DRAM cache held the line.
+        served_by_memory: Whether off-chip memory supplied the data.
+        predicted_memory: The access predictor's decision (None if the
+            design does not predict, e.g. SRAM-Tag).
+    """
+
+    done: float
+    cache_hit: bool
+    served_by_memory: bool
+    predicted_memory: Optional[bool] = None
+
+
+class DramCacheDesign(ABC):
+    """Base class for all DRAM-cache organizations."""
+
+    name: str = "base"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        stacked: DramDevice,
+        memory: DramDevice,
+        schedule: Scheduler,
+    ) -> None:
+        self.config = config
+        self.stacked = stacked
+        self.memory = memory
+        self.schedule = schedule
+        self.stats = StatGroup(self.name)
+        self.hit_latency_hist = Histogram("hit_latency", LATENCY_BUCKETS)
+        self.read_latency_hist = Histogram("read_latency", LATENCY_BUCKETS)
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def access(
+        self,
+        now: float,
+        line_address: int,
+        is_write: bool,
+        pc: int,
+        core_id: int,
+    ) -> AccessOutcome:
+        """Handle one L3 miss arriving at the DRAM-cache controller."""
+
+    def warm(self, line_address: int, is_write: bool, pc: int, core_id: int) -> None:
+        """Replay one record functionally (no timing): fill tag state and
+        train predictors so the timed phase starts from steady state.
+
+        Designs without functional state (the baselines) inherit this no-op.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared accounting helpers
+    # ------------------------------------------------------------------
+    def _record_read(self, hit: bool, latency: float) -> None:
+        if hit:
+            self.stats.counter("read_hits").add()
+            self.stats.accumulator("hit_latency").sample(latency)
+            self.hit_latency_hist.sample(latency)
+        else:
+            self.stats.counter("read_misses").add()
+            self.stats.accumulator("miss_latency").sample(latency)
+        self.stats.accumulator("read_latency").sample(latency)
+        self.read_latency_hist.sample(latency)
+
+    def _record_write(self, hit: bool) -> None:
+        self.stats.counter("write_hits" if hit else "write_misses").add()
+
+    def _memory_read(self, now: float, line_address: int):
+        self.stats.counter("memory_reads").add()
+        return self.memory.access_line(now, line_address)
+
+    def _memory_write(self, now: float, line_address: int) -> None:
+        self.stats.counter("memory_writes").add()
+        self.memory.access_line(now, line_address, is_write=True, background=True)
+
+    def _schedule_memory_write(self, when: float, line_address: int) -> None:
+        self.schedule(when, lambda t: self._memory_write(t, line_address))
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def read_hit_rate(self) -> float:
+        hits = self.stats.counter("read_hits").value
+        misses = self.stats.counter("read_misses").value
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def overall_hit_rate(self) -> float:
+        hits = (
+            self.stats.counter("read_hits").value
+            + self.stats.counter("write_hits").value
+        )
+        total = hits + (
+            self.stats.counter("read_misses").value
+            + self.stats.counter("write_misses").value
+        )
+        return hits / total if total else 0.0
+
+    @property
+    def avg_hit_latency(self) -> float:
+        return self.stats.accumulator("hit_latency").mean
+
+    @property
+    def avg_read_latency(self) -> float:
+        return self.stats.accumulator("read_latency").mean
+
+    def describe(self) -> str:
+        """One-line description used by reports."""
+        return self.name
+
+
+class RowMapper:
+    """Maps a design's stacked-DRAM rows onto device coordinates.
+
+    Designs address the stacked device by *cache row id*; this helper spreads
+    consecutive rows across channels and banks (row-interleaved) so adjacent
+    sets exploit bank-level parallelism the way the paper's designs do.
+    """
+
+    def __init__(self, device: DramDevice) -> None:
+        self._channels = device.timings.channels
+        self._banks = device.timings.banks_per_channel
+
+    def locate(self, cache_row: int) -> RowLocation:
+        channel = cache_row % self._channels
+        per_channel = cache_row // self._channels
+        bank = per_channel % self._banks
+        row = per_channel // self._banks
+        return RowLocation(channel=channel, bank=bank, row=row)

@@ -1,0 +1,114 @@
+"""Factory building any of the paper's design configurations by name.
+
+Names used throughout the experiments and the CLI:
+
+==========================  ====================================================
+Name                        Configuration
+==========================  ====================================================
+``no-cache``                Baseline: off-chip memory only
+``perfect-l3``              100%-hit L3 (Table 3 reference)
+``sram-tag``                SRAM tags, 32-way, DIP (Section 2.1)
+``sram-tag-1way``           SRAM tags, direct-mapped (Table 1)
+``lh-cache``                LH-Cache, 29-way, DIP + MissMap (Section 2.2)
+``lh-cache-rand``           LH-Cache with random replacement (Table 1)
+``lh-cache-1way``           LH-Cache, direct-mapped variant (Table 1)
+``alloy-nopred``            Alloy Cache, no predictor (pure SAM, Figure 6)
+``alloy-missmap``           Alloy Cache + MissMap predictor (Figure 6)
+``alloy-sam``               Alloy Cache + static SAM (Figure 8)
+``alloy-pam``               Alloy Cache + static PAM (Figure 8)
+``alloy-map-g``             Alloy Cache + MAP-Global (Figure 8)
+``alloy-map-i``             Alloy Cache + MAP-Instruction (the paper's design)
+``alloy-perfect``           Alloy Cache + perfect predictor (Figure 8)
+``alloy-burst8``            Alloy + MAP-I, 8-beat bursts (Section 6.5)
+``alloy-2way``              Two-way Alloy + MAP-I (Section 6.7)
+``alloy-victim16/64``       Alloy + MAP-I + SRAM victim buffer (extension)
+``ideal-lo``                IDEAL-LO bound (Section 2.3)
+``ideal-lo-notag``          IDEAL-LO with zero tag overhead (Table 7)
+==========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.cache.missmap import MissMap
+from repro.cache.replacement import make_policy
+from repro.core.predictors import make_predictor
+from repro.dram.device import DramDevice
+from repro.dramcache.alloy import AlloyCacheDesign
+from repro.dramcache.alloy_victim import AlloyVictimDesign
+from repro.dramcache.base import DramCacheDesign, Scheduler
+from repro.dramcache.ideal_lo import IdealLODesign
+from repro.dramcache.lh_cache import LHCacheDesign
+from repro.dramcache.no_cache import NoCacheDesign, PerfectL3Design
+from repro.dramcache.sram_tag import SramTagDesign
+from repro.sim.config import SystemConfig
+
+_Builder = Callable[
+    [SystemConfig, DramDevice, DramDevice, Scheduler], DramCacheDesign
+]
+
+
+def _alloy_with(predictor_name: str, **kwargs) -> _Builder:
+    def build(config, stacked, memory, schedule):
+        predictor = make_predictor(predictor_name, config.num_cores)
+        return AlloyCacheDesign(
+            config, stacked, memory, schedule, predictor=predictor, **kwargs
+        )
+
+    return build
+
+
+_BUILDERS: Dict[str, _Builder] = {
+    "no-cache": NoCacheDesign,
+    "perfect-l3": PerfectL3Design,
+    "sram-tag": lambda c, s, m, sch: SramTagDesign(c, s, m, sch, ways=32),
+    "sram-tag-1way": lambda c, s, m, sch: SramTagDesign(c, s, m, sch, ways=1),
+    "lh-cache": lambda c, s, m, sch: LHCacheDesign(c, s, m, sch, ways=29),
+    "lh-cache-rand": lambda c, s, m, sch: LHCacheDesign(
+        c, s, m, sch, ways=29, policy=make_policy("random")
+    ),
+    "lh-cache-1way": lambda c, s, m, sch: LHCacheDesign(c, s, m, sch, ways=1),
+    "alloy-nopred": lambda c, s, m, sch: AlloyCacheDesign(
+        c, s, m, sch, predictor=None
+    ),
+    "alloy-missmap": lambda c, s, m, sch: AlloyCacheDesign(
+        c, s, m, sch, predictor=MissMap()
+    ),
+    "alloy-sam": _alloy_with("sam"),
+    "alloy-pam": _alloy_with("pam"),
+    "alloy-map-g": _alloy_with("map-g"),
+    "alloy-map-i": _alloy_with("map-i"),
+    "alloy-perfect": _alloy_with("perfect"),
+    "alloy-burst8": _alloy_with("map-i", burst_beats=8),
+    "alloy-2way": _alloy_with("map-i", ways=2),
+    "alloy-victim16": lambda c, s, m, sch: AlloyVictimDesign(
+        c, s, m, sch, predictor=make_predictor("map-i", c.num_cores),
+        victim_entries=16,
+    ),
+    "alloy-victim64": lambda c, s, m, sch: AlloyVictimDesign(
+        c, s, m, sch, predictor=make_predictor("map-i", c.num_cores),
+        victim_entries=64,
+    ),
+    "ideal-lo": lambda c, s, m, sch: IdealLODesign(c, s, m, sch, tag_overhead=True),
+    "ideal-lo-notag": lambda c, s, m, sch: IdealLODesign(
+        c, s, m, sch, tag_overhead=False
+    ),
+}
+
+#: All recognised design names, in a stable order for CLIs and reports.
+DESIGN_NAMES = tuple(_BUILDERS)
+
+
+def make_design(
+    name: str,
+    config: SystemConfig,
+    stacked: DramDevice,
+    memory: DramDevice,
+    schedule: Scheduler,
+) -> DramCacheDesign:
+    """Build a design by its canonical name."""
+    key = name.lower()
+    if key not in _BUILDERS:
+        raise ValueError(f"unknown design {name!r}; choose from {DESIGN_NAMES}")
+    return _BUILDERS[key](config, stacked, memory, schedule)

@@ -1,0 +1,96 @@
+"""IDEAL-LO: the latency-optimized upper bound (paper Section 2.3).
+
+IDEAL-LO has zero tag-serialization and zero predictor-serialization
+latency, knows hit/miss a priori (perfect, zero-latency prediction), streams
+exactly one 64 B line per hit, and adds no miss-path overhead. Like the
+Alloy Cache it maps 28 consecutive sets per row, so spatially-local streams
+get row-buffer hits (CAS-only, 22-cycle isolated hits for "type X").
+
+``tag_overhead=False`` models Table 7's "IDEAL-LO + NoTagOverhead": all of
+the nominal capacity stores data (32 sets per row instead of 28).
+"""
+
+from __future__ import annotations
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.dramcache.base import AccessOutcome, DramCacheDesign, RowMapper
+from repro.units import LINES_PER_ROW, ROW_BUFFER_SIZE, TADS_PER_ROW
+
+
+class IdealLODesign(DramCacheDesign):
+    """Theoretical latency-optimized design (perfect prediction, lean bursts)."""
+
+    def __init__(self, config, stacked, memory, schedule, tag_overhead: bool = True):
+        self.name = "ideal-lo" if tag_overhead else "ideal-lo-notag"
+        super().__init__(config, stacked, memory, schedule)
+        capacity = config.scaled_cache_bytes
+        self.num_rows = capacity // ROW_BUFFER_SIZE
+        self.sets_per_row = TADS_PER_ROW if tag_overhead else LINES_PER_ROW
+        self.cache = DirectMappedCache(self.num_rows * self.sets_per_row, name=self.name)
+        self._rows = RowMapper(stacked)
+
+    # ------------------------------------------------------------------
+    def _loc(self, line_address: int):
+        set_index = self.cache.set_index(line_address)
+        return self._rows.locate(set_index // self.sets_per_row)
+
+    def warm(self, line_address, is_write, pc, core_id):
+        hit = self.cache.lookup(line_address, is_write=is_write)
+        if not hit and not is_write:
+            self.cache.fill(line_address)
+
+    def access(self, now, line_address, is_write, pc, core_id):
+        hit = self.cache.lookup(line_address, is_write=is_write)
+        if is_write:
+            self._record_write(hit)
+            if hit:
+                loc = self._loc(line_address)
+                self.schedule(
+                    now,
+                    lambda t, loc=loc: self.stacked.access(
+                        t,
+                        loc,
+                        self.stacked.timings.line_burst,
+                        is_write=True,
+                        background=True,
+                    ),
+                )
+            else:
+                self._schedule_memory_write(now, line_address)
+            return AccessOutcome(done=now, cache_hit=hit, served_by_memory=not hit)
+
+        if hit:
+            result = self.stacked.access(
+                now, self._loc(line_address), self.stacked.timings.line_burst
+            )
+            if result.row_hit:
+                self.stats.counter("row_hits").add()
+            self._record_read(hit=True, latency=result.done - now)
+            return AccessOutcome(
+                done=result.done, cache_hit=True, served_by_memory=False,
+                predicted_memory=False,
+            )
+
+        # Perfect prediction: the miss goes to memory immediately.
+        mem = self._memory_read(now, line_address)
+        self._record_read(hit=False, latency=mem.done - now)
+        self.schedule(mem.done, lambda t: self._fill(t, line_address))
+        return AccessOutcome(
+            done=mem.done, cache_hit=False, served_by_memory=True,
+            predicted_memory=True,
+        )
+
+    # ------------------------------------------------------------------
+    def _fill(self, now: float, line_address: int) -> None:
+        evicted = self.cache.fill(line_address)
+        loc = self._loc(line_address)
+        if evicted.valid and evicted.dirty:
+            victim = self.stacked.access(
+                now, loc, self.stacked.timings.line_burst, background=True
+            )
+            self._schedule_memory_write(victim.done, evicted.line_address)
+            now = victim.done
+        self.stacked.access(
+            now, loc, self.stacked.timings.line_burst, is_write=True, background=True
+        )
+        self.stats.counter("fills").add()

@@ -1,0 +1,47 @@
+"""Baseline designs: no DRAM cache, and a perfect L3 (Table 3's reference).
+
+``NoCacheDesign`` sends every L3 miss to off-chip memory — the baseline all
+of the paper's speedups are normalized to. ``PerfectL3Design`` services every
+access at L3 latency (charged by the system loop), which is how Table 3's
+"Perfect-L3 Speedup" workload characterization is computed.
+"""
+
+from __future__ import annotations
+
+from repro.dramcache.base import AccessOutcome, DramCacheDesign
+
+
+class NoCacheDesign(DramCacheDesign):
+    """Baseline memory system without a DRAM cache."""
+
+    name = "no-cache"
+
+    def access(self, now, line_address, is_write, pc, core_id):
+        if is_write:
+            self._record_write(hit=False)
+            self._schedule_memory_write(now, line_address)
+            return AccessOutcome(
+                done=now, cache_hit=False, served_by_memory=True
+            )
+        result = self._memory_read(now, line_address)
+        self._record_read(hit=False, latency=result.done - now)
+        return AccessOutcome(
+            done=result.done, cache_hit=False, served_by_memory=True
+        )
+
+
+class PerfectL3Design(DramCacheDesign):
+    """Idealized 100%-hit L3: every access completes at the L3 boundary.
+
+    The system loop already charges the L3 latency before calling the
+    design, so the perfect L3 adds nothing.
+    """
+
+    name = "perfect-l3"
+
+    def access(self, now, line_address, is_write, pc, core_id):
+        if is_write:
+            self._record_write(hit=True)
+        else:
+            self._record_read(hit=True, latency=0.0)
+        return AccessOutcome(done=now, cache_hit=True, served_by_memory=False)

@@ -1,0 +1,128 @@
+"""SRAM-Tag design: tags in an (impractically large) SRAM array (Section 2.1).
+
+Every access first consults the SRAM tag store — the 24-cycle *Tag
+Serialization Latency* (TSL) — and then either reads the data line from the
+stacked DRAM (hit) or goes to memory (miss; the SRAM tags make the miss known
+at TSL, so no DRAM-cache probe is wasted).
+
+The default 32-way organization maps one whole set per 2 KB row, which is why
+its DRAM-cache row-buffer hit rate is near zero (Section 2.3). The 1-way
+variant of Table 1 maps 32 consecutive sets per row, recovering row-buffer
+locality but barely changing performance because the TSL still dominates.
+
+Storage overhead accounting (Section 6.1): ~6 bytes of SRAM tag per 64 B
+line, i.e. 24 MB for a 256 MB cache — the "impractical" part.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.set_assoc import SetAssocCache
+from repro.dramcache.base import AccessOutcome, DramCacheDesign, RowMapper
+from repro.units import LINES_PER_ROW
+
+#: SRAM bytes of tag state per cached line (5-6 bytes, Section 2).
+SRAM_TAG_BYTES_PER_LINE = 6
+
+
+class SramTagDesign(DramCacheDesign):
+    """DRAM cache with an SRAM tag store."""
+
+    def __init__(
+        self,
+        config,
+        stacked,
+        memory,
+        schedule,
+        ways: int = 32,
+        policy: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        self.ways = ways
+        self.name = f"sram-tag-{ways}way" if ways != 32 else "sram-tag"
+        super().__init__(config, stacked, memory, schedule)
+        capacity = config.scaled_cache_bytes
+        total_lines = capacity // 64
+        if total_lines % ways:
+            total_lines -= total_lines % ways
+        num_sets = total_lines // ways
+        self.sets_per_row = LINES_PER_ROW // ways if ways < LINES_PER_ROW else 1
+        self.tags = SetAssocCache(
+            num_sets,
+            ways,
+            policy=policy if policy is not None else make_policy("dip"),
+            name=self.name,
+        )
+        self._rows = RowMapper(stacked)
+
+    # ------------------------------------------------------------------
+    def _row_of(self, line_address: int):
+        set_index = self.tags.set_index(line_address)
+        return self._rows.locate(set_index // self.sets_per_row)
+
+    def sram_overhead_bytes(self) -> int:
+        """SRAM tag-store size for the *nominal* capacity (Section 6.1)."""
+        return (self.config.cache_size_bytes // 64) * SRAM_TAG_BYTES_PER_LINE
+
+    # ------------------------------------------------------------------
+    def warm(self, line_address, is_write, pc, core_id):
+        hit = self.tags.lookup(line_address, is_write=is_write)
+        if not hit and not is_write:
+            self.tags.fill(line_address)
+
+    # ------------------------------------------------------------------
+    def access(self, now, line_address, is_write, pc, core_id):
+        t_tag = now + self.config.sram_tag_latency  # TSL
+        hit = self.tags.lookup(line_address, is_write=is_write)
+
+        if is_write:
+            self._record_write(hit)
+            if hit:
+                loc = self._row_of(line_address)
+                self.schedule(
+                    t_tag,
+                    lambda t, loc=loc: self.stacked.access(
+                        t,
+                        loc,
+                        self.stacked.timings.line_burst,
+                        is_write=True,
+                        background=True,
+                    ),
+                )
+            else:
+                self._schedule_memory_write(t_tag, line_address)
+            return AccessOutcome(done=now, cache_hit=hit, served_by_memory=not hit)
+
+        if hit:
+            loc = self._row_of(line_address)
+            result = self.stacked.access(t_tag, loc, self.stacked.timings.line_burst)
+            self._record_read(hit=True, latency=result.done - now)
+            return AccessOutcome(
+                done=result.done, cache_hit=True, served_by_memory=False
+            )
+
+        mem = self._memory_read(t_tag, line_address)
+        self._record_read(hit=False, latency=mem.done - now)
+        self.schedule(mem.done, lambda t: self._fill(t, line_address))
+        return AccessOutcome(done=mem.done, cache_hit=False, served_by_memory=True)
+
+    # ------------------------------------------------------------------
+    def _fill(self, now: float, line_address: int) -> None:
+        """Install a returned line: one stacked write, plus victim handling."""
+        evicted = self.tags.fill(line_address)
+        loc = self._row_of(line_address)
+        if evicted.valid and evicted.dirty:
+            # Read the victim's data out of the cache, then write it back.
+            victim = self.stacked.access(
+                now, loc, self.stacked.timings.line_burst, background=True
+            )
+            self.stats.counter("victim_reads").add()
+            self._schedule_memory_write(victim.done, evicted.line_address)
+            fill_at = victim.done
+        else:
+            fill_at = now
+        self.stacked.access(
+            fill_at, loc, self.stacked.timings.line_burst, is_write=True, background=True
+        )
+        self.stats.counter("fills").add()

@@ -1,0 +1,63 @@
+"""Shared sweep machinery for the experiment modules.
+
+``quick`` mode shortens traces so a full experiment run (or the benchmark
+suite) stays fast; full mode uses the calibration-length traces behind the
+numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.sim.runner import geometric_mean, speedup
+from repro.workloads.spec import PRIMARY_BENCHMARKS, SECONDARY_BENCHMARKS
+
+#: Reads per core in full / quick experiment modes.
+FULL_READS = 6000
+QUICK_READS = 1500
+
+
+def reads_for(quick: bool) -> int:
+    return QUICK_READS if quick else FULL_READS
+
+
+def primary_names() -> List[str]:
+    return list(PRIMARY_BENCHMARKS)
+
+
+def secondary_names() -> List[str]:
+    return list(SECONDARY_BENCHMARKS)
+
+
+def sweep(
+    designs: Iterable[str],
+    benchmarks: Iterable[str],
+    quick: bool = False,
+    config: Optional[SystemConfig] = None,
+) -> Dict[Tuple[str, str], Tuple[float, SimResult]]:
+    """Run every (design, benchmark) pair; returns speedups + raw results."""
+    config = config or SystemConfig()
+    reads = reads_for(quick)
+    out: Dict[Tuple[str, str], Tuple[float, SimResult]] = {}
+    for benchmark in benchmarks:
+        for design in designs:
+            out[(design, benchmark)] = speedup(
+                design, benchmark, config, reads_per_core=reads
+            )
+    return out
+
+
+def design_geomean(
+    results: Dict[Tuple[str, str], Tuple[float, SimResult]],
+    design: str,
+) -> float:
+    """Geometric-mean speedup of one design across all swept benchmarks."""
+    values = [s for (d, _), (s, _) in results.items() if d == design]
+    return geometric_mean(values)
+
+
+def improvement_pct(speedup_value: float) -> float:
+    """Speedup expressed as the paper's percentage improvement."""
+    return (speedup_value - 1.0) * 100.0

@@ -1,0 +1,31 @@
+"""Figure 4: performance potential of SRAM-Tag, LH-Cache and IDEAL-LO."""
+
+from __future__ import annotations
+
+from repro.experiments.common import design_geomean, primary_names, sweep
+from repro.experiments.report import ExperimentResult
+
+DESIGNS = ("lh-cache", "sram-tag", "ideal-lo")
+
+#: Paper geometric means (speedup over no DRAM cache, 256 MB).
+PAPER_GEOMEAN = {"lh-cache": 1.087, "sram-tag": 1.24, "ideal-lo": 1.384}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="Speedup over no-DRAM-cache baseline (256 MB)",
+        headers=["workload", *DESIGNS],
+    )
+    results = sweep(DESIGNS, primary_names(), quick=quick)
+    for benchmark in primary_names():
+        result.add_row(
+            benchmark, *(results[(d, benchmark)][0] for d in DESIGNS)
+        )
+    result.add_row("gmean", *(design_geomean(results, d) for d in DESIGNS))
+    result.add_note(
+        "paper gmeans: "
+        + ", ".join(f"{d}={v}" for d, v in PAPER_GEOMEAN.items())
+        + "; expected shape LH < SRAM-Tag < IDEAL-LO"
+    )
+    return result

@@ -1,0 +1,41 @@
+"""Figure 6: Alloy Cache with no predictor, MissMap, and a perfect predictor,
+compared against the impractical SRAM-Tag design."""
+
+from __future__ import annotations
+
+from repro.experiments.common import design_geomean, primary_names, sweep
+from repro.experiments.report import ExperimentResult
+
+DESIGNS = ("alloy-nopred", "alloy-missmap", "alloy-perfect", "sram-tag")
+
+#: Paper average improvements: Alloy+NoPred 21%, Alloy+MissMap below NoPred,
+#: Alloy+Perfect 37%, SRAM-Tag ~24%.
+PAPER_IMPROVEMENT = {
+    "alloy-nopred": 21.0,
+    "alloy-missmap": 19.0,
+    "alloy-perfect": 37.0,
+    "sram-tag": 23.8,
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig6",
+        title="Alloy Cache miss-handling options vs SRAM-Tag (256 MB)",
+        headers=["workload", *DESIGNS],
+    )
+    results = sweep(DESIGNS, primary_names(), quick=quick)
+    for benchmark in primary_names():
+        result.add_row(
+            benchmark, *(results[(d, benchmark)][0] for d in DESIGNS)
+        )
+    result.add_row("gmean", *(design_geomean(results, d) for d in DESIGNS))
+    result.add_note(
+        "expected shape: MissMap's 24-cycle PSL on every access makes it "
+        "WORSE than no prediction; a perfect predictor is best"
+    )
+    result.add_note(
+        "paper improvements: "
+        + ", ".join(f"{d}~{v}%" for d, v in PAPER_IMPROVEMENT.items())
+    )
+    return result

@@ -1,0 +1,43 @@
+"""Figure 8: Alloy Cache speedup under each memory access predictor."""
+
+from __future__ import annotations
+
+from repro.experiments.common import design_geomean, primary_names, sweep
+from repro.experiments.report import ExperimentResult
+
+DESIGNS = (
+    "alloy-sam",
+    "alloy-pam",
+    "alloy-map-g",
+    "alloy-map-i",
+    "alloy-perfect",
+)
+
+#: Paper average improvements (Section 5.4).
+PAPER_IMPROVEMENT = {
+    "alloy-sam": 22.6,
+    "alloy-pam": 29.6,
+    "alloy-map-g": 30.9,
+    "alloy-map-i": 35.0,
+    "alloy-perfect": 36.6,
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig8",
+        title="Alloy Cache with different memory access predictors (256 MB)",
+        headers=["workload", *DESIGNS],
+    )
+    results = sweep(DESIGNS, primary_names(), quick=quick)
+    for benchmark in primary_names():
+        result.add_row(
+            benchmark, *(results[(d, benchmark)][0] for d in DESIGNS)
+        )
+    result.add_row("gmean", *(design_geomean(results, d) for d in DESIGNS))
+    result.add_note(
+        "expected shape: SAM < PAM <= MAP-G < MAP-I <= Perfect; paper "
+        "improvements: "
+        + ", ".join(f"{d}~{v}%" for d, v in PAPER_IMPROVEMENT.items())
+    )
+    return result

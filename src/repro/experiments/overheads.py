@@ -1,0 +1,42 @@
+"""Storage-overhead table (paper Sections 2.1 / 6.1): why SRAM-Tags are
+impractical and the Alloy Cache's predictor is free."""
+
+from __future__ import annotations
+
+from repro.analysis.overheads import overhead_table
+from repro.experiments.report import ExperimentResult
+from repro.units import pretty_size
+
+#: Paper Section 6.1 SRAM overheads: 6/12/24/48/96 MB for 64 MB..1 GB.
+PAPER_SRAM_MB = {64: 6, 128: 12, 256: 24, 512: 48, 1024: 96}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="overheads",
+        title="Non-DRAM storage overhead per design (Section 6.1)",
+        headers=[
+            "cache",
+            "sram_tag",
+            "paper_sram",
+            "missmap_dense",
+            "missmap_sparse",
+            "alloy_map_i",
+        ],
+    )
+    for row in overhead_table():
+        size_mb = row.cache_bytes // (1024 * 1024)
+        result.add_row(
+            pretty_size(row.cache_bytes),
+            pretty_size(row.sram_tag_bytes),
+            f"{PAPER_SRAM_MB[size_mb]}MB",
+            pretty_size(row.missmap_dense_bytes),
+            pretty_size(row.missmap_sparse_bytes),
+            f"{row.map_i_bytes}B",
+        )
+    result.add_note(
+        "SRAM-Tags need megabytes of SRAM that scale with capacity; the "
+        "MissMap needs megabytes of tracking state (hence its L3 embedding "
+        "and 24-cycle PSL); MAP-I needs 96 bytes per core, total < 1 KB"
+    )
+    return result

@@ -1,0 +1,73 @@
+"""Experiment registry: paper artifact id -> runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    energy,
+    extensions,
+    overheads,
+    scorecard,
+    fig1,
+    fig3,
+    fig4,
+    fig6,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.experiments.report import ExperimentResult
+
+Runner = Callable[[bool], ExperimentResult]
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "fig1": fig1.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig6": fig6.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "table1": table1.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "burst8": ablations.run_burst8,
+    "twoway": ablations.run_twoway,
+    "psl-sweep": extensions.run_psl_sweep,
+    "mact-sweep": extensions.run_mact_sweep,
+    "lh-replacement": extensions.run_lh_replacement,
+    "mlp-sweep": extensions.run_mlp_sweep,
+    "victim-cache": extensions.run_victim_cache,
+    "page-policy": extensions.run_page_policy,
+    "energy": energy.run,
+    "overheads": overheads.run,
+    "scorecard": scorecard.run,
+}
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """Look up a runner; raises ``KeyError`` with the known ids."""
+    key = experiment_id.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[key]
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment by paper artifact id."""
+    return get_experiment(experiment_id)(quick)

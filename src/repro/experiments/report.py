@@ -1,0 +1,104 @@
+"""Result containers and plain-text table rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated paper artifact: a titled table plus notes."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Cell]:
+        """Extract one column by header name (used by tests)."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_by_key(self, key: Cell) -> List[Cell]:
+        """Find the row whose first cell equals ``key``."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(f"no row keyed {key!r} in {self.experiment_id}")
+
+    def render(self) -> str:
+        return render_table(self)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_bars(
+    result: ExperimentResult,
+    value_column: str,
+    label_column: Optional[str] = None,
+    width: int = 48,
+) -> str:
+    """Render one numeric column as a horizontal ASCII bar chart.
+
+    This is how the CLI draws the paper's *figures* (as opposed to tables):
+    one bar per row, scaled to the column maximum.
+    """
+    labels = result.column(label_column) if label_column else result.column(
+        result.headers[0]
+    )
+    values = result.column(value_column)
+    numeric = [float(v) for v in values]
+    peak = max(numeric) if numeric else 0.0
+    label_width = max((len(str(l)) for l in labels), default=0)
+    lines = [f"-- {result.experiment_id}: {value_column} --"]
+    for label, value in zip(labels, numeric):
+        bar = "#" * (round(width * value / peak) if peak > 0 else 0)
+        lines.append(f"{str(label).ljust(label_width)} | {bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def write_csv(result: ExperimentResult, path) -> None:
+    """Write an experiment's table as CSV (one header row + data rows)."""
+    import csv
+
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        for row in result.rows:
+            writer.writerow(row)
+
+
+def _format_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Render an :class:`ExperimentResult` as an aligned text table."""
+    table: List[Sequence[str]] = [result.headers] + [
+        [_format_cell(c) for c in row] for row in result.rows
+    ]
+    widths = [
+        max(len(row[i]) for row in table) for i in range(len(result.headers))
+    ]
+    lines = [f"== {result.experiment_id}: {result.title} =="]
+    header = "  ".join(h.ljust(w) for h, w in zip(table[0], widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Reproduction scorecard: one PASS/FAIL verdict per paper claim.
+
+Runs the experiments behind each of the paper's headline claims and checks
+the *shape* criteria this reproduction promises (see EXPERIMENTS.md).
+``python -m repro.cli scorecard --quick`` gives a fast end-to-end health
+check of the whole reproduction; the full mode matches EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.experiments.report import ExperimentResult
+
+
+@dataclass(frozen=True)
+class Criterion:
+    """One paper claim and the check that verifies it."""
+
+    name: str
+    claim: str
+    experiments: tuple
+    check: Callable[[Dict[str, ExperimentResult]], bool]
+
+
+def _fig4_ordering(results):
+    gmean = results["fig4"].row_by_key("gmean")
+    lh, sram, ideal = gmean[1], gmean[2], gmean[3]
+    return lh < sram < ideal
+
+
+def _alloy_beats_sram(results):
+    alloy = results["fig8"].row_by_key("gmean")[4]  # MAP-I column
+    sram = results["fig4"].row_by_key("gmean")[2]
+    return alloy > sram
+
+
+def _hit_latency_ordering(results):
+    avg = results["fig10"].row_by_key("average")
+    lh, sram, alloy = avg[1], avg[2], avg[3]
+    return alloy < sram < lh and 85 <= lh <= 135
+
+
+def _missmap_worse_than_nopred(results):
+    gmean = results["fig6"].row_by_key("gmean")
+    return gmean[2] < gmean[1]  # missmap < nopred
+
+
+def _map_i_near_perfect(results):
+    gmean = results["fig8"].row_by_key("gmean")
+    map_i, perfect = gmean[4], gmean[5]
+    return map_i > perfect * 0.9
+
+
+def _pam_wastes_bandwidth(results):
+    pam = results["table5"].row_by_key("PAM")
+    return pam[2] > 25.0  # % of misses wastefully sent to memory
+
+
+def _gap_shrinks_with_size(results):
+    deltas = results["table6"].column("delta_pct")
+    return all(b <= a + 0.5 for a, b in zip(deltas, deltas[1:]))
+
+
+def _capacity_monotone(results):
+    rows = results["fig9"].rows
+    alloy = [row[3] for row in rows]
+    return all(b >= a - 0.01 for a, b in zip(alloy, alloy[1:]))
+
+
+def _burst8_cheap(results):
+    base = results["burst8"].row_by_key("alloy-map-i")[1]
+    burst8 = results["burst8"].row_by_key("alloy-burst8")[1]
+    return base - 6.0 < burst8 <= base + 1.0
+
+
+def _twoway_not_worth_it(results):
+    one = results["twoway"].row_by_key("alloy-map-i")
+    two = results["twoway"].row_by_key("alloy-2way")
+    latency_worse = two[3] > one[3]
+    no_big_win = two[1] < one[1] + 5.0
+    return latency_worse and no_big_win
+
+
+def _improvement_ladder(results):
+    improvements = results["table7"].column("improvement_pct")
+    return all(b >= a - 0.5 for a, b in zip(improvements, improvements[1:]))
+
+
+def _fig3_exact(results):
+    for row in results["fig3"].rows:
+        _, _, _, cycles, paper = row
+        if paper != "-" and cycles != paper:
+            return False
+    return True
+
+
+CRITERIA = (
+    Criterion(
+        "fig3-cycle-exact",
+        "isolated-access latencies match the paper cycle-for-cycle",
+        ("fig3",),
+        _fig3_exact,
+    ),
+    Criterion(
+        "potential-ordering",
+        "LH-Cache < SRAM-Tag < IDEAL-LO (Figure 4)",
+        ("fig4",),
+        _fig4_ordering,
+    ),
+    Criterion(
+        "alloy-beats-sram",
+        "Alloy+MAP-I outperforms impractical SRAM-Tags (the title claim)",
+        ("fig4", "fig8"),
+        _alloy_beats_sram,
+    ),
+    Criterion(
+        "hit-latency-ordering",
+        "hit latency Alloy < SRAM-Tag < LH-Cache, LH near 107 (Figure 10)",
+        ("fig10",),
+        _hit_latency_ordering,
+    ),
+    Criterion(
+        "missmap-psl-tax",
+        "MissMap prediction is worse than no prediction (Figure 6)",
+        ("fig6",),
+        _missmap_worse_than_nopred,
+    ),
+    Criterion(
+        "map-i-near-perfect",
+        "MAP-I lands within 10% of the perfect predictor (Figure 8)",
+        ("fig8",),
+        _map_i_near_perfect,
+    ),
+    Criterion(
+        "pam-bandwidth-waste",
+        "PAM wastefully sends a large share of hits to memory (Table 5)",
+        ("table5",),
+        _pam_wastes_bandwidth,
+    ),
+    Criterion(
+        "associativity-gap-shrinks",
+        "29-way vs 1-way hit-rate gap shrinks with capacity (Table 6)",
+        ("table6",),
+        _gap_shrinks_with_size,
+    ),
+    Criterion(
+        "capacity-monotone",
+        "Alloy Cache speedup grows with cache size (Figure 9)",
+        ("fig9",),
+        _capacity_monotone,
+    ),
+    Criterion(
+        "burst8-cheap",
+        "power-of-two burst restriction costs only a little (Section 6.5)",
+        ("burst8",),
+        _burst8_cheap,
+    ),
+    Criterion(
+        "twoway-not-worth-it",
+        "two-way Alloy pays in latency without a decisive win (Section 6.7)",
+        ("twoway",),
+        _twoway_not_worth_it,
+    ),
+    Criterion(
+        "room-ladder",
+        "MAP-I <= Perfect <= IDEAL-LO <= NoTagOverhead (Table 7)",
+        ("table7",),
+        _improvement_ladder,
+    ),
+)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    # Imported here to avoid a registry <-> scorecard import cycle.
+    from repro.experiments.registry import run_experiment
+
+    needed = sorted({e for c in CRITERIA for e in c.experiments})
+    results = {e: run_experiment(e, quick=quick) for e in needed}
+
+    card = ExperimentResult(
+        experiment_id="scorecard",
+        title="Reproduction scorecard (paper-claim shape checks)",
+        headers=["criterion", "verdict", "claim"],
+    )
+    passed = 0
+    for criterion in CRITERIA:
+        ok = criterion.check(results)
+        passed += ok
+        card.add_row(criterion.name, "PASS" if ok else "FAIL", criterion.claim)
+    card.add_note(f"{passed}/{len(CRITERIA)} criteria passed")
+    if quick:
+        card.add_note(
+            "quick mode uses short traces; borderline criteria can flip — "
+            "full mode matches EXPERIMENTS.md"
+        )
+    return card

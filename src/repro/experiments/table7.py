@@ -1,0 +1,41 @@
+"""Table 7: room for improvement beyond Alloy + MAP-I."""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    design_geomean,
+    improvement_pct,
+    primary_names,
+    sweep,
+)
+from repro.experiments.report import ExperimentResult
+
+DESIGNS = ("alloy-map-i", "alloy-perfect", "ideal-lo", "ideal-lo-notag")
+
+#: Paper Table 7 improvements (%).
+PAPER = {
+    "alloy-map-i": 35.0,
+    "alloy-perfect": 36.6,
+    "ideal-lo": 38.4,
+    "ideal-lo-notag": 41.0,
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table7",
+        title="Room for improvement (256 MB, geomean improvement %)",
+        headers=["design", "improvement_pct", "paper_pct"],
+    )
+    results = sweep(DESIGNS, primary_names(), quick=quick)
+    for design in DESIGNS:
+        result.add_row(
+            design,
+            improvement_pct(design_geomean(results, design)),
+            PAPER[design],
+        )
+    result.add_note(
+        "expected shape: perfect prediction, then zero latency overheads, "
+        "then zero tag overhead each add a small increment"
+    )
+    return result

@@ -1,0 +1,8 @@
+"""Trace-driven system simulator: cores, L3 boundary, designs, event loop."""
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.sim.system import System
+from repro.sim.runner import run_design, compare_designs
+
+__all__ = ["SystemConfig", "SimResult", "System", "run_design", "compare_designs"]

@@ -1,0 +1,77 @@
+"""System configuration (paper Table 2) and the capacity-scaling rule.
+
+The paper simulates 8 cores at 4 GHz, an 8 MB L3 with a 24-cycle latency,
+2-channel off-chip DDR3 and 4-channel stacked DRAM. All latencies here are
+processor cycles.
+
+Capacity scaling
+----------------
+A pure-Python simulator cannot execute 1 B instructions per core, so we run
+reduced traces and scale the DRAM-cache capacity and workload footprints down
+by the same ``capacity_scale`` factor (default 256: 256 MB nominal -> 1 MB
+simulated). Line size, row size and sets-per-row stay fixed, so hit rates,
+row-buffer locality and per-access traffic — the quantities the paper's
+trade-off analysis rests on — are preserved. All reports use nominal sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.dram.timings import DramTimings, OFFCHIP_DDR3, STACKED_DRAM
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full system configuration for one simulation.
+
+    Attributes:
+        num_cores: Cores running in rate mode (paper: 8).
+        l3_latency: L3 lookup latency in cycles; charged on every L3 miss
+            before the request reaches the DRAM-cache controller, and equal
+            to the SRAM-tag and MissMap lookup latencies (paper: 24).
+        sram_tag_latency: Tag Serialization Latency of the SRAM-Tag design.
+        missmap_latency: Predictor Serialization Latency of the MissMap.
+        predictor_latency: Latency of the MAP predictors (paper: 1 cycle).
+        cache_size_bytes: *Nominal* DRAM-cache capacity (e.g. 256 MB).
+        capacity_scale: Divisor applied to the nominal capacity (and, by the
+            workload builders, to footprints) to keep runs tractable.
+        offchip: Off-chip DRAM timing preset.
+        stacked: Stacked DRAM timing preset.
+        write_issue_cycles: Cycles a core spends issuing a (posted) write.
+        mshrs_per_core: Outstanding demand reads a core may overlap. 1 is
+            the default blocking-read model; larger values approximate an
+            out-of-order core's memory-level parallelism (see the
+            ``mlp-sweep`` extension experiment).
+    """
+
+    num_cores: int = 8
+    l3_latency: int = 24
+    sram_tag_latency: int = 24
+    missmap_latency: int = 24
+    predictor_latency: int = 1
+    cache_size_bytes: int = 256 * MB
+    capacity_scale: int = 256
+    offchip: DramTimings = field(default_factory=lambda: OFFCHIP_DDR3)
+    stacked: DramTimings = field(default_factory=lambda: STACKED_DRAM)
+    write_issue_cycles: int = 1
+    mshrs_per_core: int = 1
+    #: Row-buffer management for each device: "open" (paper) or "closed".
+    offchip_page_policy: str = "open"
+    stacked_page_policy: str = "open"
+
+    @property
+    def scaled_cache_bytes(self) -> int:
+        """The capacity actually simulated after scaling."""
+        scaled = self.cache_size_bytes // self.capacity_scale
+        # Keep a whole number of 2 KB rows.
+        return max(scaled - scaled % self.stacked.row_bytes, self.stacked.row_bytes)
+
+    def with_cache_size(self, nominal_bytes: int) -> "SystemConfig":
+        """Copy with a different nominal cache size (Figure 9 sweeps)."""
+        return replace(self, cache_size_bytes=nominal_bytes)
+
+    def with_scale(self, capacity_scale: int) -> "SystemConfig":
+        """Copy with a different capacity scale factor."""
+        return replace(self, capacity_scale=capacity_scale)

@@ -1,0 +1,149 @@
+"""Functional L3 filter: turn an L2-miss stream into the post-L3 stream.
+
+The simulator's workloads are L3-miss streams (what reaches the DRAM-cache
+controller). When importing *raw* traces captured above the L3 — e.g. an
+application's full load/store or L2-miss stream — this filter replays them
+through a functional model of the paper's L3 (8 MB, 16-way, shared) and
+emits exactly what the DRAM cache would see:
+
+* demand reads that miss the L3 (gaps re-accumulated across filtered hits,
+  each absorbed hit contributing the 24-cycle L3 latency of compute time),
+* writebacks of dirty L3 victims at their eviction points.
+
+The L3 capacity participates in the same ``capacity_scale`` scaling as the
+DRAM cache so filtered reuse distances stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.cache.replacement import LRUPolicy
+from repro.cache.set_assoc import SetAssocCache
+from repro.units import MB
+from repro.workloads.trace import CoreTrace, Workload
+
+#: Paper Table 2: 8 MB shared L3, 16 ways, 24-cycle lookup.
+L3_CAPACITY_BYTES = 8 * MB
+L3_WAYS = 16
+L3_LATENCY = 24
+
+
+@dataclass
+class L3FilterStats:
+    """Accounting for one filtering pass."""
+
+    accesses: int = 0
+    hits: int = 0
+    demand_misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class L3Filter:
+    """Shared functional L3 that filters multi-core traces."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = L3_CAPACITY_BYTES,
+        ways: int = L3_WAYS,
+        capacity_scale: int = 256,
+    ) -> None:
+        scaled = max(capacity_bytes // capacity_scale, 64 * ways)
+        num_sets = max(scaled // 64 // ways, 1)
+        self.cache = SetAssocCache(num_sets, ways, policy=LRUPolicy(), name="l3")
+        self.stats = L3FilterStats()
+
+    # ------------------------------------------------------------------
+    def filter_workload(self, workload: Workload) -> Workload:
+        """Replay all cores round-robin through the shared L3.
+
+        Round-robin interleaving approximates concurrent execution well
+        enough for a *functional* filter (no timing decisions are made
+        here), and keeps the pass deterministic.
+        """
+        builders = [_CoreBuilder(trace.instructions) for trace in workload.cores]
+        cursors = [0] * workload.num_cores
+        longest = max(len(t) for t in workload.cores)
+
+        for step in range(longest):
+            for core_id, trace in enumerate(workload.cores):
+                if cursors[core_id] >= len(trace):
+                    continue
+                i = cursors[core_id]
+                cursors[core_id] += 1
+                self._one_access(
+                    builders[core_id],
+                    float(trace.gaps[i]),
+                    int(trace.addresses[i]),
+                    bool(trace.is_write[i]),
+                    int(trace.pcs[i]),
+                )
+
+        cores = [b.build() for b in builders]
+        return Workload(name=f"{workload.name}+l3", cores=cores)
+
+    # ------------------------------------------------------------------
+    def _one_access(self, builder, gap, address, is_write, pc) -> None:
+        self.stats.accesses += 1
+        hit = self.cache.lookup(address, is_write=is_write)
+        if hit:
+            # Absorbed by the L3: its latency becomes compute time from the
+            # DRAM cache's point of view.
+            self.stats.hits += 1
+            builder.absorb(gap + L3_LATENCY)
+            return
+        evicted = self.cache.fill(address, dirty=is_write)
+        if evicted.valid and evicted.dirty:
+            builder.emit_write(evicted.line_address)
+            self.stats.writebacks += 1
+        if is_write:
+            # An upper-level writeback carries the whole line: it allocates
+            # in the L3 without demanding anything from below.
+            builder.absorb(gap)
+            return
+        self.stats.demand_misses += 1
+        builder.emit_read(gap, address, pc)
+
+
+class _CoreBuilder:
+    """Accumulates one core's filtered records."""
+
+    def __init__(self, instructions: int) -> None:
+        self.instructions = instructions
+        self._gap_credit = 0.0
+        self._gaps: List[float] = []
+        self._addresses: List[int] = []
+        self._is_write: List[bool] = []
+        self._pcs: List[int] = []
+
+    def absorb(self, cycles: float) -> None:
+        self._gap_credit += cycles
+
+    def emit_read(self, gap: float, address: int, pc: int) -> None:
+        self._gaps.append(gap + self._gap_credit)
+        self._gap_credit = 0.0
+        self._addresses.append(address)
+        self._is_write.append(False)
+        self._pcs.append(pc)
+
+    def emit_write(self, address: int) -> None:
+        self._gaps.append(0.0)
+        self._addresses.append(address)
+        self._is_write.append(True)
+        self._pcs.append(0)
+
+    def build(self) -> CoreTrace:
+        return CoreTrace(
+            gaps=np.array(self._gaps, dtype=float),
+            addresses=np.array(self._addresses, dtype=np.int64),
+            is_write=np.array(self._is_write),
+            pcs=np.array(self._pcs, dtype=np.int64),
+            instructions=self.instructions,
+        )

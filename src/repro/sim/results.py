@@ -1,0 +1,84 @@
+"""Simulation result records and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SimResult:
+    """Everything an experiment needs from one (workload, design) run.
+
+    Speedups are computed against a baseline result via :meth:`speedup_vs`;
+    the runner in :mod:`repro.sim.runner` wires that up.
+    """
+
+    workload: str
+    design: str
+    #: Average per-core execution time in cycles (the paper's metric).
+    cycles: float
+    per_core_cycles: List[float] = field(default_factory=list)
+    instructions: int = 0
+    #: Demand-read DRAM-cache hit rate.
+    read_hit_rate: float = 0.0
+    overall_hit_rate: float = 0.0
+    avg_hit_latency: float = 0.0
+    avg_read_latency: float = 0.0
+    memory_reads: int = 0
+    memory_writes: int = 0
+    wasted_memory_reads: int = 0
+    stacked_row_hit_rate: float = 0.0
+    stacked_bus_utilization: float = 0.0
+    #: Table 5 scenario counts, keyed pred_{mem,cache}_actual_{mem,cache}.
+    predictor_scenarios: Dict[str, int] = field(default_factory=dict)
+    design_stats: Dict[str, float] = field(default_factory=dict)
+    #: Activity-based energy estimates (paper Section 5.6), in nanojoules.
+    memory_energy_nj: float = 0.0
+    stacked_energy_nj: float = 0.0
+    #: Latency-distribution percentiles (bucket-edge approximations).
+    hit_latency_p50: float = 0.0
+    hit_latency_p95: float = 0.0
+    read_latency_p95: float = 0.0
+
+    # ------------------------------------------------------------------
+    def speedup_vs(self, baseline: "SimResult") -> float:
+        """Execution-time speedup relative to ``baseline`` (>1 is faster)."""
+        if self.cycles <= 0:
+            raise ValueError("result has no cycles")
+        return baseline.cycles / self.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def total_dram_energy_nj(self) -> float:
+        """Off-chip plus stacked DRAM access energy (Section 5.6 model)."""
+        return self.memory_energy_nj + self.stacked_energy_nj
+
+    def energy_per_instruction_nj(self) -> float:
+        """DRAM energy amortized per instruction."""
+        return (
+            self.total_dram_energy_nj / self.instructions
+            if self.instructions
+            else 0.0
+        )
+
+    def predictor_accuracy(self) -> Optional[float]:
+        """Fraction of predictions that matched the actual service point."""
+        s = self.predictor_scenarios
+        if not s:
+            return None
+        correct = s.get("pred_mem_actual_mem", 0) + s.get(
+            "pred_cache_actual_cache", 0
+        )
+        total = sum(s.values())
+        return correct / total if total else None
+
+    def scenario_fractions(self) -> Dict[str, float]:
+        """Table 5 rows: each scenario as a fraction of all L3 read misses."""
+        total = sum(self.predictor_scenarios.values())
+        if not total:
+            return {}
+        return {k: v / total for k, v in self.predictor_scenarios.items()}

@@ -1,0 +1,123 @@
+"""Convenience runners: simulate designs over workloads and compute speedups.
+
+Baseline (``no-cache``) results are cached per (workload, config) because
+every paper figure normalizes against the same baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple, Union
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.sim.system import System
+from repro.workloads.spec import build_workload
+from repro.workloads.trace import Workload
+
+#: Default trace length per core for experiments; large enough to reach
+#: steady state at the default capacity scale, small enough to keep a full
+#: figure sweep in minutes.
+DEFAULT_READS_PER_CORE = 12000
+
+_baseline_cache: Dict[Tuple, SimResult] = {}
+
+
+def _config_key(config: SystemConfig) -> Tuple:
+    # SystemConfig is a frozen dataclass of hashable fields, so the whole
+    # config participates in the baseline cache key (a partial key once
+    # caused stale baselines when sweeping mshrs_per_core).
+    return (config,)
+
+
+def run_design(
+    design: Union[str, Callable],
+    workload: Workload,
+    config: Optional[SystemConfig] = None,
+    warmup_fraction: float = 0.25,
+) -> SimResult:
+    """Simulate one design over a prebuilt workload.
+
+    ``design`` is a canonical name from :data:`repro.dramcache.DESIGN_NAMES`
+    or a builder callable ``(config, stacked, memory, schedule) -> design``
+    for custom configurations (used by the extension experiments).
+    """
+    config = config or SystemConfig()
+    system = System(config, design, workload, warmup_fraction=warmup_fraction)
+    return system.run()
+
+
+def run_benchmark(
+    design: str,
+    benchmark: str,
+    config: Optional[SystemConfig] = None,
+    reads_per_core: int = DEFAULT_READS_PER_CORE,
+    warmup_fraction: float = 0.25,
+    seed: int = 1,
+) -> SimResult:
+    """Build the rate-mode workload for ``benchmark`` and simulate ``design``."""
+    config = config or SystemConfig()
+    workload = build_workload(
+        benchmark,
+        num_cores=config.num_cores,
+        reads_per_core=reads_per_core,
+        capacity_scale=config.capacity_scale,
+        seed=seed,
+    )
+    return run_design(design, workload, config, warmup_fraction=warmup_fraction)
+
+
+def baseline_result(
+    benchmark: str,
+    config: Optional[SystemConfig] = None,
+    reads_per_core: int = DEFAULT_READS_PER_CORE,
+    seed: int = 1,
+) -> SimResult:
+    """The ``no-cache`` baseline for a benchmark, cached across experiments."""
+    config = config or SystemConfig()
+    key = (benchmark, reads_per_core, seed) + _config_key(config)
+    if key not in _baseline_cache:
+        _baseline_cache[key] = run_benchmark(
+            "no-cache", benchmark, config, reads_per_core, seed=seed
+        )
+    return _baseline_cache[key]
+
+
+def speedup(
+    design: str,
+    benchmark: str,
+    config: Optional[SystemConfig] = None,
+    reads_per_core: int = DEFAULT_READS_PER_CORE,
+    seed: int = 1,
+) -> Tuple[float, SimResult]:
+    """Speedup of ``design`` over the no-cache baseline, plus the raw result."""
+    config = config or SystemConfig()
+    base = baseline_result(benchmark, config, reads_per_core, seed=seed)
+    result = run_benchmark(design, benchmark, config, reads_per_core, seed=seed)
+    return result.speedup_vs(base), result
+
+
+def compare_designs(
+    designs: Iterable[str],
+    benchmark: str,
+    config: Optional[SystemConfig] = None,
+    reads_per_core: int = DEFAULT_READS_PER_CORE,
+    seed: int = 1,
+) -> Dict[str, Tuple[float, SimResult]]:
+    """Run several designs on one benchmark; returns design -> (speedup, result)."""
+    return {
+        design: speedup(design, benchmark, config, reads_per_core, seed=seed)
+        for design in designs
+    }
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's cross-workload aggregate."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        if v <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= v
+    return product ** (1.0 / len(vals))

@@ -1,0 +1,159 @@
+"""Lightweight statistics primitives used by the simulator.
+
+The simulator accumulates everything through these small objects so that every
+design exposes the same measurement surface (hit rates, latencies, traffic)
+and the experiment harness can render paper tables uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Accumulator:
+    """Tracks a running sum/count/min/max of a sampled quantity.
+
+    Used for latency statistics: each completed request samples its latency
+    and the experiment reports the mean.
+    """
+
+    __slots__ = ("name", "total", "count", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def sample(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self.min = None
+        self.max = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Accumulator({self.name}: n={self.count}, mean={self.mean:.2f})"
+
+
+class Histogram:
+    """Fixed-bucket histogram for latency distributions."""
+
+    def __init__(self, name: str, bucket_edges: Iterable[float]) -> None:
+        self.name = name
+        self.edges: List[float] = sorted(bucket_edges)
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+
+    def sample(self, value: float) -> None:
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile: the smallest bucket edge covering ``q``.
+
+        Returns ``inf`` when the q-th sample falls in the overflow bucket.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be within [0, 1]")
+        total = self.total
+        if not total:
+            return 0.0
+        running = 0
+        for i, edge in enumerate(self.edges):
+            running += self.counts[i]
+            if running / total >= q:
+                return edge
+        return float("inf")
+
+    def fraction_at_or_below(self, edge: float) -> float:
+        """Fraction of samples in buckets whose upper edge is <= ``edge``."""
+        if not self.total:
+            return 0.0
+        running = 0
+        for i, e in enumerate(self.edges):
+            if e > edge:
+                break
+            running += self.counts[i]
+        return running / self.total
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe division returning 0.0 on an empty denominator."""
+    return numerator / denominator if denominator else 0.0
+
+
+@dataclass
+class StatGroup:
+    """A named bag of counters/accumulators with lazy creation.
+
+    Components create their stats through a group so everything is
+    discoverable for reporting: ``group.counter("row_hits").add()``.
+    """
+
+    name: str
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    accumulators: Dict[str, Accumulator] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def accumulator(self, name: str) -> Accumulator:
+        if name not in self.accumulators:
+            self.accumulators[name] = Accumulator(name)
+        return self.accumulators[name]
+
+    def reset(self) -> None:
+        for c in self.counters.values():
+            c.reset()
+        for a in self.accumulators.values():
+            a.reset()
+
+    def as_dict(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for name, c in self.counters.items():
+            out[name] = c.value
+        for name, a in self.accumulators.items():
+            out[f"{name}_mean"] = a.mean
+            out[f"{name}_count"] = a.count
+        return out

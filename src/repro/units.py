@@ -1,0 +1,74 @@
+"""Size and unit constants shared across the simulator.
+
+All capacities are in bytes, all latencies in 4 GHz processor cycles (the
+paper reports every latency parameter in processor cycles, see Section 2.4),
+and all addresses are *line* addresses unless a name says otherwise.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Cache line size used throughout the paper (bytes).
+LINE_SIZE = 64
+
+#: DRAM row buffer size for both off-chip and stacked DRAM (bytes).
+ROW_BUFFER_SIZE = 2048
+
+#: Lines that fit in one 2 KB row.
+LINES_PER_ROW = ROW_BUFFER_SIZE // LINE_SIZE  # 32
+
+#: Width of the stacked-DRAM data bus (bytes); transfers are aligned to this.
+STACKED_BUS_BYTES = 16
+
+#: Size of one Alloy-Cache tag entry (bytes): 42 tag bits + valid + dirty
+#: + coherence/optimization bits, rounded to 8 bytes (Section 4.1).
+TAG_ENTRY_SIZE = 8
+
+#: Size of one TAD (tag-and-data) unit: 64 B line + 8 B tag.
+TAD_SIZE = LINE_SIZE + TAG_ENTRY_SIZE  # 72
+
+#: TADs per 2 KB row in the Alloy Cache (28, with 32 bytes unused).
+TADS_PER_ROW = ROW_BUFFER_SIZE // TAD_SIZE  # 28
+
+#: Data lines per row in the LH-Cache (3 of the 32 lines hold tags).
+LH_WAYS = 29
+
+#: Tag lines per row in the LH-Cache.
+LH_TAG_LINES = 3
+
+
+def lines(capacity_bytes: int) -> int:
+    """Number of 64 B lines in ``capacity_bytes``."""
+    return capacity_bytes // LINE_SIZE
+
+
+def line_addr(byte_addr: int) -> int:
+    """Convert a byte address to a line address."""
+    return byte_addr // LINE_SIZE
+
+
+def pretty_size(capacity_bytes: int) -> str:
+    """Render a capacity like ``256MB``, ``1GB`` or ``10.4GB`` for reports."""
+    if capacity_bytes % GB == 0:
+        return f"{capacity_bytes // GB}GB"
+    if capacity_bytes % MB == 0:
+        return f"{capacity_bytes // MB}MB"
+    if capacity_bytes % KB == 0:
+        return f"{capacity_bytes // KB}KB"
+    if capacity_bytes >= GB:
+        return f"{capacity_bytes / GB:.1f}GB"
+    if capacity_bytes >= MB:
+        return f"{capacity_bytes / MB:.0f}MB"
+    return f"{capacity_bytes}B"
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"256MB"`` / ``"1GB"`` / ``"64KB"`` / plain byte counts."""
+    text = text.strip().upper()
+    for suffix, mult in (("GB", GB), ("MB", MB), ("KB", KB), ("B", 1)):
+        if text.endswith(suffix):
+            return int(float(text[: -len(suffix)]) * mult)
+    return int(text)

@@ -1,0 +1,38 @@
+"""Workload synthesis: traces, access-pattern generators, SPEC-like catalog."""
+
+from repro.workloads.trace import CoreTrace, Workload
+from repro.workloads.patterns import (
+    PatternConfig,
+    generate_core_trace,
+)
+from repro.workloads.tracefile import (
+    save_workload,
+    load_workload,
+    export_csv,
+    import_csv,
+)
+from repro.workloads.spec import (
+    BenchmarkSpec,
+    PRIMARY_BENCHMARKS,
+    SECONDARY_BENCHMARKS,
+    ALL_BENCHMARKS,
+    get_benchmark,
+    build_workload,
+)
+
+__all__ = [
+    "CoreTrace",
+    "Workload",
+    "PatternConfig",
+    "generate_core_trace",
+    "BenchmarkSpec",
+    "PRIMARY_BENCHMARKS",
+    "SECONDARY_BENCHMARKS",
+    "ALL_BENCHMARKS",
+    "get_benchmark",
+    "build_workload",
+    "save_workload",
+    "load_workload",
+    "export_csv",
+    "import_csv",
+]

@@ -1,0 +1,271 @@
+"""Synthetic access-pattern generators standing in for SPEC2006 traces.
+
+We do not have SPEC binaries or a Pin front-end, so each benchmark is modeled
+as a weighted mixture of canonical memory behaviours (DESIGN.md, substitution
+1). The DRAM-cache trade-offs the paper measures depend on four properties of
+the post-L3 stream, and each is a first-class parameter here:
+
+* miss arrival rate      -> ``mpki`` (gap cycles between demand misses),
+* spatial locality       -> ``sequential`` components with long run lengths
+                            (row-buffer friendly "type X" accesses),
+* temporal reuse         -> ``hot``/``zipf`` components sized relative to the
+                            cache (DRAM-cache hit rate, associativity
+                            sensitivity),
+* streaming/cold traffic -> ``pointer`` and large ``sequential`` components
+                            ("type Y" accesses, compulsory misses).
+
+Hit/miss outcomes correlate with the generating component, and each component
+draws from its own small pool of instruction addresses — which is precisely
+the correlation MAP-I exploits (Section 5.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.units import LINE_SIZE
+from repro.workloads.trace import CoreTrace
+
+#: Compute CPI between misses for a 4-wide core (gap cycles per instruction).
+COMPUTE_CPI = 0.25
+
+#: Geometric mean burst length for non-sequential components.
+DEFAULT_BURST = 3
+
+#: Geometric mean number of bursts a component stays active once selected.
+PHASE_BURSTS = 10
+
+
+@dataclass(frozen=True)
+class Component:
+    """One access-pattern component of a benchmark mixture.
+
+    Attributes:
+        kind: ``sequential`` (streaming runs), ``strided`` (fixed-stride
+            walks, ``run_length`` lines apart), ``hot`` (uniform reuse
+            within a small region), ``zipf`` (skewed reuse), or ``pointer``
+            (dependent chasing over a large region, negligible reuse).
+        weight: Mixture weight (relative).
+        region_bytes: *Nominal* region size; divided by the capacity scale
+            when a trace is generated.
+        run_length: Mean consecutive-line run length (sequential locality).
+        zipf_alpha: Skew for ``zipf`` components.
+        pc_pool: Distinct instruction addresses this component issues from.
+    """
+
+    kind: str
+    weight: float
+    region_bytes: int
+    run_length: int = 1
+    zipf_alpha: float = 1.4
+    pc_pool: int = 4
+
+
+@dataclass(frozen=True)
+class PatternConfig:
+    """Full generative description of one benchmark's memory behaviour."""
+
+    name: str
+    mpki: float
+    components: Tuple[Component, ...]
+    write_fraction: float = 0.2
+    footprint_bytes: int = 0  # nominal; defaults to the sum of regions
+    #: Mean compute cycles between demand misses. Calibrated per benchmark
+    #: so the no-DRAM-cache baseline reproduces Table 3's perfect-L3
+    #: speedup; falls back to ``1000/mpki * COMPUTE_CPI`` when unset.
+    gap_mean_cycles: float = 0.0
+
+    def total_region_bytes(self) -> int:
+        return self.footprint_bytes or sum(c.region_bytes for c in self.components)
+
+
+class _ComponentState:
+    """Mutable per-trace generation state for one component."""
+
+    def __init__(self, comp: Component, region_lines: int, base_line: int, rng) -> None:
+        self.comp = comp
+        self.region_lines = max(region_lines, 1)
+        self.base_line = base_line
+        self.rng = rng
+        self.cursor = int(rng.integers(self.region_lines))
+        # Precompute a Zipf rank permutation so rank 0 is a fixed hot line.
+        self._zipf_perm = None
+
+    def next_burst(self, max_len: int) -> List[Tuple[int, Optional[int]]]:
+        """Emit one burst as (line_address, pc_slot) pairs.
+
+        ``pc_slot`` is None for components whose accesses come from
+        interchangeable instructions; zipf components bind the slot to the
+        rank magnitude, reproducing the real-program property that hot and
+        cold data are touched by different code paths — the correlation
+        MAP-I exploits (Section 5.3.2).
+        """
+        comp = self.comp
+        rng = self.rng
+        if comp.kind == "sequential":
+            length = min(max(1, int(rng.geometric(1.0 / comp.run_length))), max_len)
+            lines = [
+                (self.base_line + (self.cursor + i) % self.region_lines, None)
+                for i in range(length)
+            ]
+            self.cursor = (self.cursor + length) % self.region_lines
+            return lines
+        if comp.kind == "strided":
+            # Fixed-stride walk (column sweeps, HPC grids): run_length is
+            # the stride in lines. Strides >= a row's 32 lines defeat the
+            # row buffer entirely (pure "type Y" traffic).
+            stride = max(comp.run_length, 1)
+            length = min(max(1, int(rng.geometric(1.0 / DEFAULT_BURST))), max_len)
+            out = []
+            for _ in range(length):
+                out.append((self.base_line + self.cursor, None))
+                self.cursor = (self.cursor + stride) % self.region_lines
+            return out
+        length = min(max(1, int(rng.geometric(1.0 / DEFAULT_BURST))), max_len)
+        if comp.kind == "hot":
+            start = int(rng.integers(self.region_lines))
+            out = []
+            for i in range(length):
+                line = (start + i) % self.region_lines
+                # PC binds to the address chunk: distinct loads walk distinct
+                # structures, so a chunk that loses its cache slots to
+                # conflicts keeps missing under the same PC — the per-PC
+                # outcome bias MAP-I learns.
+                slot = line * comp.pc_pool // self.region_lines
+                out.append((self.base_line + line, slot))
+            return out
+        if comp.kind == "zipf":
+            out = []
+            for _ in range(length):
+                # Inverse-CDF power-law sample over ranks, clipped to region.
+                u = rng.random()
+                rank = int(u ** (-1.0 / (self.comp.zipf_alpha - 1.0))) - 1
+                rank = min(rank, self.region_lines - 1)
+                # Rank maps to a contiguous line: hot data is clustered, as
+                # in real heaps, which keeps direct-mapped conflicts between
+                # the hot head and cold tail realistic rather than maximal.
+                slot = min(rank.bit_length(), comp.pc_pool - 1)
+                out.append((self.base_line + rank, slot))
+            return out
+        if comp.kind == "pointer":
+            start = int(rng.integers(self.region_lines))
+            self.cursor = start
+            return [
+                (self.base_line + int(self.rng.integers(self.region_lines)), None)
+                for _ in range(length)
+            ]
+        raise ValueError(f"unknown component kind {comp.kind!r}")
+
+
+def generate_core_trace(
+    config: PatternConfig,
+    num_reads: int,
+    seed: int,
+    capacity_scale: int = 256,
+    base_line: int = 0,
+) -> CoreTrace:
+    """Generate one core's trace from a :class:`PatternConfig`.
+
+    ``base_line`` offsets every address so rate-mode copies occupy disjoint
+    physical ranges. Region sizes are divided by ``capacity_scale`` to match
+    the scaled cache capacity (DESIGN.md, substitution 2).
+    """
+    rng = np.random.default_rng(seed)
+    comps = config.components
+    # Component weights are *per access*, but generation draws bursts: a
+    # sequential component with run_length 64 emits ~64 accesses per draw.
+    # Draw probabilities are therefore weight / expected-burst-length.
+    burst_means = np.array(
+        [
+            c.run_length if c.kind == "sequential" else DEFAULT_BURST
+            for c in comps
+        ],
+        dtype=float,
+    )  # strided/hot/zipf/pointer bursts all average DEFAULT_BURST accesses
+    weights = np.array([c.weight for c in comps], dtype=float) / burst_means
+    weights /= weights.sum()
+
+    # Lay components out back-to-back inside the core's region.
+    states: List[_ComponentState] = []
+    offset = 0
+    for i, comp in enumerate(comps):
+        region_lines = max(comp.region_bytes // capacity_scale // LINE_SIZE, 1)
+        states.append(
+            _ComponentState(
+                comp,
+                region_lines,
+                base_line + offset,
+                np.random.default_rng(seed * 1000003 + i),
+            )
+        )
+        offset += region_lines
+
+    pc_base = 0x400000 + (seed & 0xFFFF) * 0x10000
+
+    read_addrs: List[int] = []
+    read_pcs: List[int] = []
+    read_dependent: List[bool] = []
+    # Programs execute in phases: once a component becomes active it stays
+    # active for several bursts (geometric, mean PHASE_BURSTS). This temporal
+    # clustering of hits and misses is what history-based predictors exploit
+    # (Section 5.3's MMMMHHHH example).
+    while len(read_addrs) < num_reads:
+        comp_idx = int(rng.choice(len(comps), p=weights))
+        comp = comps[comp_idx]
+        phase_bursts = max(1, int(rng.geometric(1.0 / PHASE_BURSTS)))
+        for _ in range(phase_bursts):
+            if len(read_addrs) >= num_reads:
+                break
+            burst = states[comp_idx].next_burst(num_reads - len(read_addrs))
+            dependent = comp.kind == "pointer"
+            for line, slot in burst:
+                read_addrs.append(line)
+                read_dependent.append(dependent)
+                if slot is None:
+                    slot = int(rng.integers(comp.pc_pool)) if comp.pc_pool > 1 else 0
+                read_pcs.append(pc_base + comp_idx * 0x1000 + slot * 4)
+
+    read_addrs_arr = np.asarray(read_addrs, dtype=np.int64)
+    read_pcs_arr = np.asarray(read_pcs, dtype=np.int64)
+    read_dep_arr = np.asarray(read_dependent, dtype=bool)
+
+    # Gap cycles: calibrated mean compute time between misses (see
+    # PatternConfig.gap_mean_cycles) with exponential jitter for burstiness.
+    mean_gap = config.gap_mean_cycles or (1000.0 / config.mpki) * COMPUTE_CPI
+    gaps = rng.exponential(mean_gap, size=num_reads)
+
+    # Writebacks: dirty L3 victims. Each is an address read a while ago
+    # (L3-residency lag), posted alongside a demand miss (gap 0).
+    num_writes = int(num_reads * config.write_fraction / (1.0 - config.write_fraction))
+    if num_writes:
+        src = rng.integers(0, num_reads, size=num_writes)
+        lag = rng.integers(1, 512, size=num_writes)
+        wb_idx = np.maximum(src - lag, 0)
+        write_addrs = read_addrs_arr[wb_idx]
+        insert_pos = np.sort(rng.integers(0, num_reads + 1, size=num_writes))
+        addresses = np.insert(read_addrs_arr, insert_pos, write_addrs)
+        pcs = np.insert(read_pcs_arr, insert_pos, 0)
+        gaps_all = np.insert(gaps, insert_pos, 0.0)
+        dependent = np.insert(read_dep_arr, insert_pos, False)
+        is_write = np.zeros(num_reads + num_writes, dtype=bool)
+        write_positions = insert_pos + np.arange(num_writes)
+        is_write[write_positions] = True
+    else:
+        addresses = read_addrs_arr
+        pcs = read_pcs_arr
+        gaps_all = gaps
+        dependent = read_dep_arr
+        is_write = np.zeros(num_reads, dtype=bool)
+
+    instructions = int(num_reads * 1000.0 / config.mpki)
+    return CoreTrace(
+        gaps=gaps_all,
+        addresses=addresses,
+        is_write=is_write,
+        pcs=pcs,
+        instructions=instructions,
+        is_dependent=dependent,
+    )

@@ -1,0 +1,255 @@
+"""SPEC CPU2006-like benchmark catalog (paper Table 3 and Figure 11).
+
+Each benchmark is a :class:`~repro.workloads.patterns.PatternConfig` whose
+MPKI and footprint come from Table 3 and whose component mixture encodes the
+qualitative behaviour the paper relies on:
+
+* ``libquantum`` — long sequential sweeps: very high off-chip row-buffer
+  locality ("type X"), which is why SRAM-Tag and LH-Cache *degrade* it.
+* ``mcf`` / ``omnetpp`` — pointer-heavy, scattered reuse.
+* ``bwaves`` / ``milc`` / ``lbm`` — streaming scientific kernels.
+* ``sphinx`` — small footprint that largely fits in a 256 MB cache.
+
+The *primary* set is the paper's ten detailed workloads (perfect-L3 speedup
+above 2x); the *secondary* set models Figure 11's fourteen lower-intensity
+workloads. All run in rate mode: 8 copies in disjoint address ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.units import GB, MB
+from repro.workloads.patterns import Component, PatternConfig, generate_core_trace
+from repro.workloads.trace import CoreTrace, Workload
+
+#: Line-address spacing between rate-mode copies (disjoint physical ranges).
+#: Deliberately not a power of two: several designs index sets with
+#: ``address mod num_sets`` and power-of-two set counts (e.g. the 1-way
+#: SRAM-Tag) would alias every copy onto identical sets otherwise.
+CORE_ADDRESS_STRIDE_LINES = (1 << 28) + 9466311
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Catalog entry: generative model plus the paper's reported stats."""
+
+    pattern: PatternConfig
+    paper_mpki: float
+    paper_footprint_bytes: int
+    paper_perfect_l3_speedup: float
+    primary: bool = True
+
+    @property
+    def name(self) -> str:
+        return self.pattern.name
+
+
+def _spec(
+    name: str,
+    mpki: float,
+    footprint: int,
+    perfect_l3: float,
+    components: Tuple[Component, ...],
+    write_fraction: float = 0.2,
+    primary: bool = True,
+    gap_mean_cycles: float = 0.0,
+) -> BenchmarkSpec:
+    return BenchmarkSpec(
+        pattern=PatternConfig(
+            name=name,
+            mpki=mpki,
+            components=components,
+            write_fraction=write_fraction,
+            footprint_bytes=footprint,
+            gap_mean_cycles=gap_mean_cycles,
+        ),
+        paper_mpki=mpki,
+        paper_footprint_bytes=footprint,
+        paper_perfect_l3_speedup=perfect_l3,
+        primary=primary,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Primary workloads (paper Table 3). Region sizes are per rate-mode copy.
+# ---------------------------------------------------------------------------
+PRIMARY_BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec(
+            "mcf_r", 52.0, int(10.4 * GB), 4.9, gap_mean_cycles=11.0,
+            components=(
+                Component("hot", 0.48, 12 * MB, pc_pool=8),
+                Component("zipf", 0.18, 1280 * MB, zipf_alpha=1.10, pc_pool=8),
+                Component("pointer", 0.24, 1200 * MB, pc_pool=6),
+                Component("sequential", 0.10, 96 * MB, run_length=8, pc_pool=2),
+            ),
+            write_fraction=0.18,
+        ),
+        _spec(
+            "lbm_r", 31.8, int(3.3 * GB), 3.8, gap_mean_cycles=37.0,
+            components=(
+                Component("sequential", 0.45, 384 * MB, run_length=32, pc_pool=3),
+                Component("hot", 0.40, 10 * MB, pc_pool=6),
+                Component("zipf", 0.15, 512 * MB, zipf_alpha=1.10, pc_pool=4),
+            ),
+            write_fraction=0.35,
+        ),
+        _spec(
+            "soplex_r", 27.0, int(1.9 * GB), 3.5, gap_mean_cycles=31.0,
+            components=(
+                Component("hot", 0.44, 14 * MB, pc_pool=8),
+                Component("zipf", 0.28, 192 * MB, zipf_alpha=1.15, pc_pool=8),
+                Component("sequential", 0.30, 128 * MB, run_length=16, pc_pool=3),
+            ),
+        ),
+        _spec(
+            "milc_r", 25.7, int(4.1 * GB), 3.5, gap_mean_cycles=39.0,
+            components=(
+                Component("sequential", 0.50, 480 * MB, run_length=32, pc_pool=4),
+                Component("hot", 0.35, 10 * MB, pc_pool=6),
+                Component("zipf", 0.18, 512 * MB, zipf_alpha=1.10, pc_pool=4),
+            ),
+            write_fraction=0.3,
+        ),
+        _spec(
+            "omnetpp_r", 20.9, 259 * MB, 3.1, gap_mean_cycles=47.0,
+            components=(
+                Component("zipf", 0.62, 24 * MB, zipf_alpha=1.25, pc_pool=12),
+                Component("pointer", 0.20, 16 * MB, pc_pool=6),
+                Component("sequential", 0.18, 6 * MB, run_length=8, pc_pool=2),
+            ),
+        ),
+        _spec(
+            "gcc_r", 16.5, 458 * MB, 2.8, gap_mean_cycles=60.0,
+            components=(
+                Component("zipf", 0.55, 40 * MB, zipf_alpha=1.25, pc_pool=16),
+                Component("hot", 0.25, 8 * MB, pc_pool=8),
+                Component("sequential", 0.20, 16 * MB, run_length=12, pc_pool=4),
+            ),
+        ),
+        _spec(
+            "bwaves_r", 18.7, int(1.5 * GB), 2.8, gap_mean_cycles=60.0,
+            components=(
+                Component("sequential", 0.68, 180 * MB, run_length=64, pc_pool=3),
+                Component("hot", 0.32, 8 * MB, pc_pool=4),
+            ),
+            write_fraction=0.3,
+        ),
+        _spec(
+            "sphinx_r", 12.3, 80 * MB, 2.4, gap_mean_cycles=62.0,
+            components=(
+                Component("hot", 0.55, 8 * MB, pc_pool=8),
+                Component("zipf", 0.25, 3 * MB, zipf_alpha=1.30, pc_pool=8),
+                Component("sequential", 0.20, 2 * MB, run_length=16, pc_pool=3),
+            ),
+            write_fraction=0.1,
+        ),
+        _spec(
+            "gems_r", 9.7, int(3.6 * GB), 2.2, gap_mean_cycles=83.0,
+            components=(
+                Component("sequential", 0.40, 420 * MB, run_length=16, pc_pool=4),
+                Component("hot", 0.42, 12 * MB, pc_pool=8),
+                Component("zipf", 0.22, 1024 * MB, zipf_alpha=1.10, pc_pool=4),
+            ),
+        ),
+        _spec(
+            "libquantum_r", 25.4, 262 * MB, 2.1, gap_mean_cycles=104.0,
+            components=(
+                Component("sequential", 0.90, 28 * MB, run_length=128, pc_pool=2),
+                Component("hot", 0.10, 2 * MB, pc_pool=2),
+            ),
+            write_fraction=0.25,
+        ),
+    ]
+}
+
+# ---------------------------------------------------------------------------
+# Secondary workloads (Figure 11): lower memory intensity, >=1% memory time.
+# ---------------------------------------------------------------------------
+_SECONDARY_PARAMS = [
+    # (name, mpki, footprint MB, hot MB, zipf MB, seq MB, run)
+    ("perlbench_r", 1.9, 220, 6, 12, 4, 8),
+    ("bzip2_r", 3.6, 340, 10, 16, 8, 16),
+    ("gobmk_r", 1.2, 120, 4, 8, 2, 4),
+    ("hmmer_r", 1.5, 60, 3, 4, 4, 16),
+    ("sjeng_r", 1.1, 140, 5, 8, 2, 4),
+    ("h264_r", 2.1, 110, 4, 6, 8, 32),
+    ("astar_r", 4.8, 330, 12, 20, 4, 4),
+    ("xalanc_r", 5.6, 380, 14, 24, 6, 8),
+    ("zeusmp_r", 4.9, 480, 10, 8, 24, 32),
+    ("gromacs_r", 1.4, 100, 4, 4, 6, 16),
+    ("cactus_r", 4.2, 540, 8, 6, 32, 32),
+    ("namd_r", 1.0, 90, 4, 2, 6, 16),
+    ("dealII_r", 2.4, 150, 6, 8, 6, 8),
+    ("tonto_r", 1.3, 80, 4, 4, 2, 8),
+]
+
+#: Physics codes whose sweeps walk grids at fixed strides rather than
+#: unit-stride (exercises the row-buffer-hostile ``strided`` pattern).
+_STRIDED_SECONDARY = {"zeusmp_r", "cactus_r"}
+
+SECONDARY_BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    name: _spec(
+        name, mpki, fp * MB, 1.5,
+        gap_mean_cycles=170.0,
+        components=(
+            Component("hot", 0.45, hot * MB, pc_pool=8),
+            Component("zipf", 0.30, zipf * MB, zipf_alpha=1.4, pc_pool=10),
+            Component(
+                "strided" if name in _STRIDED_SECONDARY else "sequential",
+                0.25,
+                seq * MB,
+                run_length=run,
+                pc_pool=4,
+            ),
+        ),
+        primary=False,
+    )
+    for (name, mpki, fp, hot, zipf, seq, run) in _SECONDARY_PARAMS
+}
+
+ALL_BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    **PRIMARY_BENCHMARKS,
+    **SECONDARY_BENCHMARKS,
+}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark by name (with or without the ``_r`` suffix)."""
+    if name in ALL_BENCHMARKS:
+        return ALL_BENCHMARKS[name]
+    suffixed = f"{name}_r"
+    if suffixed in ALL_BENCHMARKS:
+        return ALL_BENCHMARKS[suffixed]
+    raise KeyError(f"unknown benchmark {name!r}; known: {sorted(ALL_BENCHMARKS)}")
+
+
+@lru_cache(maxsize=64)
+def build_workload(
+    name: str,
+    num_cores: int = 8,
+    reads_per_core: int = 20000,
+    capacity_scale: int = 256,
+    seed: int = 1,
+) -> Workload:
+    """Build a rate-mode workload: ``num_cores`` copies in disjoint ranges.
+
+    Results are cached because experiments reuse the same workloads across
+    many design configurations.
+    """
+    spec = get_benchmark(name)
+    cores = []
+    for core_id in range(num_cores):
+        trace: CoreTrace = generate_core_trace(
+            spec.pattern,
+            num_reads=reads_per_core,
+            seed=seed * 7919 + core_id,
+            capacity_scale=capacity_scale,
+            base_line=core_id * CORE_ADDRESS_STRIDE_LINES,
+        )
+        cores.append(trace)
+    return Workload(name=spec.name, cores=cores)

@@ -1,0 +1,129 @@
+"""Trace containers: the L3-miss streams the simulator consumes.
+
+A trace models the stream of requests leaving the L3 cache: demand read
+misses (which block the issuing core) and writebacks of dirty L3 victims
+(posted). Each record carries the *gap* — compute cycles the core spends
+between the completion of its previous blocking access and issuing this one
+— plus the line address and the address of the miss-causing instruction
+(needed by MAP-I).
+
+Rate mode (the paper's methodology): 8 copies of a benchmark run on 8 cores,
+each in a disjoint physical address range (the paper's virtual-to-physical
+mapping guarantees no sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CoreTrace:
+    """One core's request stream as parallel numpy arrays.
+
+    Attributes:
+        gaps: Compute cycles preceding each request (float64).
+        addresses: Line addresses (int64).
+        is_write: True for L3 writebacks (bool).
+        pcs: Instruction addresses of the miss-causing loads (int64).
+        instructions: Total instructions this trace slice represents; used
+            for MPKI accounting and Table 3.
+    """
+
+    gaps: np.ndarray
+    addresses: np.ndarray
+    is_write: np.ndarray
+    pcs: np.ndarray
+    instructions: int
+    #: True where a read's address depends on the previous read's data
+    #: (pointer chasing). Dependent reads cannot overlap under MLP cores.
+    #: None means fully independent.
+    is_dependent: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        n = len(self.addresses)
+        if not (len(self.gaps) == len(self.is_write) == len(self.pcs) == n):
+            raise ValueError("trace arrays must have equal lengths")
+        if self.is_dependent is not None and len(self.is_dependent) != n:
+            raise ValueError("is_dependent must match the trace length")
+
+    def dependent_flags(self) -> np.ndarray:
+        """Per-record dependence flags (all False when untracked)."""
+        if self.is_dependent is None:
+            return np.zeros(len(self.addresses), dtype=bool)
+        return self.is_dependent
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    @property
+    def num_reads(self) -> int:
+        return int(np.count_nonzero(~self.is_write))
+
+    @property
+    def num_writes(self) -> int:
+        return int(np.count_nonzero(self.is_write))
+
+    @property
+    def mpki(self) -> float:
+        """Read (demand) misses per 1000 instructions."""
+        return 1000.0 * self.num_reads / self.instructions if self.instructions else 0.0
+
+    def unique_lines(self) -> int:
+        return int(np.unique(self.addresses).size)
+
+    def records(self) -> Iterator[Tuple[float, int, bool, int]]:
+        """Iterate (gap, address, is_write, pc) tuples."""
+        return zip(
+            self.gaps.tolist(),
+            self.addresses.tolist(),
+            self.is_write.tolist(),
+            self.pcs.tolist(),
+        )
+
+    def offset_addresses(self, line_offset: int) -> "CoreTrace":
+        """Copy with all line addresses shifted (disjoint rate-mode ranges)."""
+        return CoreTrace(
+            gaps=self.gaps,
+            addresses=self.addresses + line_offset,
+            is_write=self.is_write,
+            pcs=self.pcs,
+            instructions=self.instructions,
+            is_dependent=self.is_dependent,
+        )
+
+
+@dataclass
+class Workload:
+    """A multi-core workload: one trace per core plus identification."""
+
+    name: str
+    cores: List[CoreTrace] = field(default_factory=list)
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(len(t) for t in self.cores)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(t.instructions for t in self.cores)
+
+    @property
+    def mpki(self) -> float:
+        reads = sum(t.num_reads for t in self.cores)
+        instr = self.total_instructions
+        return 1000.0 * reads / instr if instr else 0.0
+
+    def footprint_lines(self) -> int:
+        """Unique lines touched across all cores (disjoint by construction)."""
+        return sum(t.unique_lines() for t in self.cores)
+
+    def footprint_bytes(self) -> int:
+        return self.footprint_lines() * 64

@@ -1,0 +1,44 @@
+"""Tests for the Table 4 effective-bandwidth model."""
+
+import pytest
+
+from repro.analysis.bandwidth import BandwidthEntry, table4
+
+
+class TestTable4:
+    def test_row_set(self):
+        names = [e.structure for e in table4()]
+        assert names == [
+            "offchip-memory",
+            "sram-tag",
+            "lh-cache",
+            "ideal-lo",
+            "alloy-cache",
+        ]
+
+    def test_offchip_reference(self):
+        entry = table4()[0]
+        assert entry.effective_bandwidth == 1.0
+
+    def test_sram_and_ideal_keep_8x(self):
+        entries = {e.structure: e for e in table4()}
+        assert entries["sram-tag"].effective_bandwidth == 8.0
+        assert entries["ideal-lo"].effective_bandwidth == 8.0
+
+    def test_lh_under_2x(self):
+        entries = {e.structure: e for e in table4()}
+        lh = entries["lh-cache"]
+        assert lh.bytes_per_hit == 3 * 64 + 64 + 16  # tags + data + update
+        assert lh.effective_bandwidth < 2.0
+
+    def test_alloy_is_6_4x(self):
+        entries = {e.structure: e for e in table4()}
+        assert entries["alloy-cache"].effective_bandwidth == pytest.approx(6.4)
+
+    def test_burst8_variant_is_4x(self):
+        entries = {e.structure: e for e in table4(alloy_tad_bytes=128)}
+        assert entries["alloy-cache"].effective_bandwidth == pytest.approx(4.0)
+
+    def test_entry_math(self):
+        entry = BandwidthEntry("x", 4.0, 128)
+        assert entry.effective_bandwidth == pytest.approx(2.0)

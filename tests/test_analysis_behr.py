@@ -1,0 +1,79 @@
+"""Tests for the break-even hit-rate model (Figure 1)."""
+
+import pytest
+
+from repro.analysis.behr import (
+    average_latency,
+    behr_curve,
+    break_even_hit_rate,
+    fig1_example,
+)
+
+
+class TestAverageLatency:
+    def test_zero_hit_rate_is_memory(self):
+        assert average_latency(0.0, 0.1) == 1.0
+
+    def test_full_hit_rate_is_cache(self):
+        assert average_latency(1.0, 0.1) == pytest.approx(0.1)
+
+    def test_linear_between(self):
+        assert average_latency(0.5, 0.1) == pytest.approx(0.55)
+
+    def test_rejects_invalid_hit_rate(self):
+        with pytest.raises(ValueError):
+            average_latency(1.5, 0.1)
+
+
+class TestBreakEven:
+    def test_paper_fast_cache(self):
+        """50% base hit rate, 0.1 -> 0.14 hit latency: BEHR ~52%."""
+        assert break_even_hit_rate(0.5, 0.1, 0.14) == pytest.approx(0.523, abs=0.001)
+
+    def test_paper_slow_cache(self):
+        """Same optimization on a 0.5-latency cache: BEHR ~83%."""
+        assert break_even_hit_rate(0.5, 0.5, 0.7) == pytest.approx(0.833, abs=0.001)
+
+    def test_paper_60pct_base_needs_100pct(self):
+        assert break_even_hit_rate(0.6, 0.5, 0.7) == pytest.approx(1.0)
+
+    def test_can_exceed_one(self):
+        # A high-enough base hit rate makes the optimization impossible.
+        assert break_even_hit_rate(0.8, 0.5, 0.7) > 1.0
+
+    def test_rejects_hit_slower_than_memory(self):
+        with pytest.raises(ValueError):
+            break_even_hit_rate(0.5, 0.5, 1.0)
+
+
+class TestCurve:
+    def test_monotone_increasing(self):
+        curve = behr_curve(0.5, 0.7)
+        behrs = [b for _, b in curve]
+        assert behrs == sorted(behrs)
+
+    def test_endpoints(self):
+        curve = behr_curve(0.5, 0.7, points=11)
+        assert curve[0][0] == 0.0
+        assert curve[-1][0] == 1.0
+
+    def test_slow_cache_curve_above_fast(self):
+        fast = dict(behr_curve(0.1, 0.14, points=11))
+        slow = dict(behr_curve(0.5, 0.7, points=11))
+        for h in (0.3, 0.5, 0.7):
+            assert slow[h] > fast[h]
+
+
+class TestFig1Example:
+    def test_paper_numbers(self):
+        ex = fig1_example()
+        assert ex["fast_base_avg"] == pytest.approx(0.55)
+        assert ex["fast_with_A_avg"] == pytest.approx(0.398, abs=0.002)
+        assert ex["slow_base_avg"] == pytest.approx(0.75)
+        assert ex["slow_with_A_avg"] == pytest.approx(0.79)
+        assert ex["slow_behr_at_60pct_base"] == pytest.approx(1.0)
+
+    def test_conclusion_flips_with_latency(self):
+        ex = fig1_example()
+        assert ex["fast_with_A_avg"] < ex["fast_base_avg"]  # A wins on fast
+        assert ex["slow_with_A_avg"] > ex["slow_base_avg"]  # A loses on slow

@@ -1,0 +1,86 @@
+"""Tests: Figure 3 latency breakdowns must be cycle-exact vs the paper."""
+
+import pytest
+
+from repro.analysis.latency import (
+    alloy_latency,
+    baseline_latency,
+    fig3_table,
+    ideal_lo_latency,
+    lh_cache_latency,
+    sram_tag_latency,
+)
+
+
+class TestPaperNumbers:
+    """Every total asserted here is stated in the paper's Section 2.4."""
+
+    def test_baseline(self):
+        assert baseline_latency("X").total == 52
+        assert baseline_latency("Y").total == 88
+
+    def test_sram_tag_hit_is_64(self):
+        assert sram_tag_latency("X", hit=True).total == 64
+        assert sram_tag_latency("Y", hit=True).total == 64
+
+    def test_sram_tag_miss_adds_tsl(self):
+        assert sram_tag_latency("X", hit=False).total == 76
+        assert sram_tag_latency("Y", hit=False).total == 112
+
+    def test_lh_hit_is_96(self):
+        assert lh_cache_latency("X", hit=True).total == 96
+        assert lh_cache_latency("Y", hit=True).total == 96
+
+    def test_lh_miss_adds_psl(self):
+        assert lh_cache_latency("X", hit=False).total == 76
+        assert lh_cache_latency("Y", hit=False).total == 112
+
+    def test_ideal_lo_hits(self):
+        assert ideal_lo_latency("X", hit=True).total == 22
+        assert ideal_lo_latency("Y", hit=True).total == 40
+
+    def test_ideal_lo_misses_are_free(self):
+        assert ideal_lo_latency("X", hit=False).total == 52
+        assert ideal_lo_latency("Y", hit=False).total == 88
+
+    def test_alloy_hit_one_beat_over_ideal(self):
+        assert alloy_latency("X", hit=True, row_hit=True).total == 23
+        assert alloy_latency("Y", hit=True, row_hit=False).total == 41
+
+    def test_alloy_miss_overlapped(self):
+        assert alloy_latency("Y", hit=False, row_hit=False).total == 88
+
+
+class TestStructure:
+    def test_segments_sum_to_total(self):
+        b = lh_cache_latency("Y", hit=True)
+        assert sum(c for _, c in b.segments) == b.total
+
+    def test_lh_hit_includes_missmap_and_tag_stream(self):
+        names = [n for n, _ in lh_cache_latency("X", hit=True).segments]
+        assert "missmap" in names
+        assert "tag-stream" in names
+
+    def test_sram_hit_leads_with_tag_lookup(self):
+        segments = sram_tag_latency("X", hit=True).segments
+        assert segments[0] == ("sram-tag-lookup", 24)
+
+    def test_alloy_burst8(self):
+        assert alloy_latency("Y", hit=True, row_hit=False, burst_beats=8).total == 44
+
+    def test_table_complete(self):
+        table = fig3_table()
+        designs = {d for d, _, _ in table}
+        assert designs == {"baseline", "sram-tag", "lh-cache", "ideal-lo", "alloy"}
+        assert len(table) == 18
+
+    def test_lh_hit_exceeds_memory_for_x(self):
+        """The paper's central observation: an LH-Cache hit (96) is slower
+        than just going to memory for a row-buffer-friendly access (52)."""
+        assert lh_cache_latency("X", hit=True).total > baseline_latency("X").total
+
+    def test_sram_hit_also_exceeds_memory_for_x(self):
+        assert sram_tag_latency("X", hit=True).total > baseline_latency("X").total
+
+    def test_alloy_hit_beats_memory_for_x(self):
+        assert alloy_latency("X", hit=True, row_hit=True).total < baseline_latency("X").total

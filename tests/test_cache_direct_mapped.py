@@ -1,0 +1,121 @@
+"""Tests for the numpy-backed direct-mapped cache."""
+
+import pytest
+
+from repro.cache.direct_mapped import DirectMappedCache
+
+
+@pytest.fixture
+def cache():
+    return DirectMappedCache(num_sets=7)
+
+
+class TestBasics:
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(0)
+
+    def test_capacity(self, cache):
+        assert cache.capacity_lines == 7
+
+    def test_modulo_indexing(self, cache):
+        assert cache.set_index(0) == 0
+        assert cache.set_index(8) == 1
+
+    def test_miss_then_fill_then_hit(self, cache):
+        assert not cache.lookup(3)
+        cache.fill(3)
+        assert cache.lookup(3)
+
+    def test_probe_silent(self, cache):
+        cache.fill(3)
+        assert cache.probe(3)
+        assert not cache.probe(10)  # same set, different tag
+        assert cache.stats.counter("hits").value == 0
+
+
+class TestConflicts:
+    def test_same_set_conflict_evicts(self, cache):
+        cache.fill(0)
+        evicted = cache.fill(7)  # 7 % 7 == 0
+        assert evicted.valid and evicted.line_address == 0
+        assert not cache.probe(0)
+        assert cache.probe(7)
+
+    def test_refill_same_line_no_eviction(self, cache):
+        cache.fill(0)
+        assert not cache.fill(0).valid
+
+    def test_distinct_sets_coexist(self, cache):
+        for line in range(7):
+            cache.fill(line)
+        assert all(cache.probe(line) for line in range(7))
+        assert cache.occupancy() == 1.0
+
+
+class TestDirty:
+    def test_write_hit_dirties(self, cache):
+        cache.fill(1)
+        cache.lookup(1, is_write=True)
+        assert cache.is_dirty(1)
+
+    def test_dirty_eviction(self, cache):
+        cache.fill(1, dirty=True)
+        evicted = cache.fill(8)
+        assert evicted.dirty
+
+    def test_refill_keeps_dirty(self, cache):
+        cache.fill(1, dirty=True)
+        cache.fill(1)
+        assert cache.is_dirty(1)
+
+    def test_invalidate(self, cache):
+        cache.fill(1, dirty=True)
+        assert cache.invalidate(1)
+        assert not cache.invalidate(1)
+        assert not cache.is_dirty(1)
+
+
+class TestStats:
+    def test_hit_rate(self, cache):
+        cache.fill(0)
+        cache.lookup(0)
+        cache.lookup(1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_resident_lines(self, cache):
+        cache.fill(0)
+        cache.fill(3)
+        assert sorted(cache.resident_lines()) == [0, 3]
+
+    def test_counters(self, cache):
+        cache.fill(0, dirty=True)
+        cache.fill(7)
+        assert cache.stats.counter("fills").value == 2
+        assert cache.stats.counter("evictions").value == 1
+        assert cache.stats.counter("dirty_evictions").value == 1
+
+
+class TestEquivalenceWithSetAssoc:
+    def test_matches_one_way_set_assoc(self):
+        """Direct-mapped must behave identically to a 1-way SetAssocCache."""
+        from repro.cache.set_assoc import SetAssocCache
+
+        dm = DirectMappedCache(13)
+        sa = SetAssocCache(13, 1)
+        import random
+
+        rng = random.Random(5)
+        for _ in range(500):
+            line = rng.randrange(60)
+            write = rng.random() < 0.3
+            hit_dm = dm.lookup(line, is_write=write)
+            hit_sa = sa.lookup(line, is_write=write)
+            assert hit_dm == hit_sa
+            if not hit_dm and not write:
+                ev_dm = dm.fill(line)
+                ev_sa = sa.fill(line)
+                assert ev_dm.valid == ev_sa.valid
+                assert ev_dm.line_address == ev_sa.line_address or not ev_dm.valid
+                assert ev_dm.dirty == ev_sa.dirty
+        assert sorted(dm.resident_lines()) == sorted(sa.resident_lines())

@@ -1,0 +1,87 @@
+"""Tests for the idealized MissMap."""
+
+import pytest
+
+from repro.cache.missmap import LINES_PER_SEGMENT, MissMap
+
+
+@pytest.fixture
+def missmap():
+    return MissMap()
+
+
+class TestPresence:
+    def test_empty(self, missmap):
+        assert not missmap.contains(0)
+        assert 0 not in missmap
+
+    def test_insert_then_contains(self, missmap):
+        missmap.insert(42)
+        assert missmap.contains(42)
+        assert 42 in missmap
+
+    def test_remove(self, missmap):
+        missmap.insert(42)
+        missmap.remove(42)
+        assert not missmap.contains(42)
+
+    def test_remove_absent_is_noop(self, missmap):
+        missmap.remove(42)
+        assert missmap.tracked_lines == 0
+
+    def test_double_insert_idempotent(self, missmap):
+        missmap.insert(1)
+        missmap.insert(1)
+        assert missmap.tracked_lines == 1
+
+
+class TestSegments:
+    def test_segment_size_is_a_page(self):
+        assert LINES_PER_SEGMENT == 64  # 4 KB / 64 B
+
+    def test_lines_share_segment(self, missmap):
+        missmap.insert(0)
+        missmap.insert(63)
+        assert missmap.active_segments == 1
+
+    def test_lines_in_distinct_segments(self, missmap):
+        missmap.insert(0)
+        missmap.insert(64)
+        assert missmap.active_segments == 2
+
+    def test_segment_freed_when_empty(self, missmap):
+        missmap.insert(0)
+        missmap.insert(1)
+        missmap.remove(0)
+        assert missmap.active_segments == 1
+        missmap.remove(1)
+        assert missmap.active_segments == 0
+
+
+class TestStorageEstimate:
+    def test_empty_is_zero(self, missmap):
+        assert missmap.storage_bytes() == 0
+
+    def test_grows_with_segments(self, missmap):
+        missmap.insert(0)
+        one = missmap.storage_bytes()
+        missmap.insert(LINES_PER_SEGMENT * 5)
+        assert missmap.storage_bytes() == 2 * one
+
+    def test_megabyte_scale_for_large_caches(self, missmap):
+        """Tracking a 256 MB cache's worth of scattered pages needs
+        megabytes — the paper's motivation for burying it in the L3."""
+        lines = 256 * 1024 * 1024 // 64
+        for segment in range(lines // LINES_PER_SEGMENT):
+            missmap.insert(segment * LINES_PER_SEGMENT)
+        assert missmap.storage_bytes() > 700_000
+
+
+class TestStats:
+    def test_lookup_counters(self, missmap):
+        missmap.insert(1)
+        missmap.contains(1)
+        missmap.contains(2)
+        assert missmap.stats.counter("lookups").value == 2
+        assert missmap.stats.counter("predicted_hits").value == 1
+        assert missmap.stats.counter("predicted_misses").value == 1

@@ -1,0 +1,166 @@
+"""Tests for replacement policies (LRU, Random, NRU, DIP)."""
+
+import pytest
+
+from repro.cache.replacement import (
+    DIPPolicy,
+    LRUPolicy,
+    NRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_initial_victim_is_last_way(self):
+        p = LRUPolicy()
+        state = p.make_state(4)
+        assert p.victim_way(state, 0) == 3
+
+    def test_hit_moves_to_mru(self):
+        p = LRUPolicy()
+        state = p.make_state(4)
+        p.on_hit(state, 3, 0)
+        assert p.victim_way(state, 0) == 2
+
+    def test_insert_moves_to_mru(self):
+        p = LRUPolicy()
+        state = p.make_state(2)
+        p.on_insert(state, 1, 0)
+        assert p.victim_way(state, 0) == 0
+
+    def test_full_recency_sequence(self):
+        p = LRUPolicy()
+        state = p.make_state(3)
+        for way in (0, 1, 2):
+            p.on_hit(state, way, 0)
+        # Access order 0,1,2 -> LRU is 0.
+        assert p.victim_way(state, 0) == 0
+
+    def test_requires_update_traffic(self):
+        assert LRUPolicy().requires_update_traffic
+
+
+class TestRandom:
+    def test_victim_in_range(self):
+        p = RandomPolicy(seed=42)
+        state = p.make_state(8)
+        for _ in range(100):
+            assert 0 <= p.victim_way(state, 0) < 8
+
+    def test_covers_all_ways(self):
+        p = RandomPolicy(seed=7)
+        state = p.make_state(4)
+        victims = {p.victim_way(state, 0) for _ in range(200)}
+        assert victims == {0, 1, 2, 3}
+
+    def test_deterministic_with_seed(self):
+        a = [RandomPolicy(seed=3).victim_way(8, 0) for _ in range(5)]
+        b = [RandomPolicy(seed=3).victim_way(8, 0) for _ in range(5)]
+        assert a == b
+
+    def test_no_update_traffic(self):
+        assert not RandomPolicy().requires_update_traffic
+
+    def test_hooks_are_noops(self):
+        p = RandomPolicy()
+        state = p.make_state(4)
+        p.on_hit(state, 0, 0)
+        p.on_insert(state, 1, 0)
+        assert state == 4
+
+
+class TestNRU:
+    def test_victim_is_first_unreferenced(self):
+        p = NRUPolicy()
+        state = p.make_state(3)
+        p.on_hit(state, 0, 0)
+        assert p.victim_way(state, 0) == 1
+
+    def test_saturation_clears_bits(self):
+        p = NRUPolicy()
+        state = p.make_state(2)
+        p.on_hit(state, 0, 0)
+        p.on_hit(state, 1, 0)  # saturates; clears others, keeps way 1
+        assert state == [False, True]
+        assert p.victim_way(state, 0) == 0
+
+    def test_all_referenced_fallback(self):
+        p = NRUPolicy()
+        assert p.victim_way([True, True], 0) == 0
+
+
+class TestDIP:
+    def test_leader_sets_disjoint(self):
+        p = DIPPolicy(dueling_period=32)
+        assert p._is_lru_leader(0)
+        assert p._is_bip_leader(1)
+        assert not p._is_lru_leader(5)
+        assert not p._is_bip_leader(5)
+
+    def test_psel_training(self):
+        p = DIPPolicy()
+        start = p.psel
+        p.on_miss(0)  # LRU-leader miss increments
+        assert p.psel == start + 1
+        p.on_miss(1)  # BIP-leader miss decrements
+        assert p.psel == start
+
+    def test_psel_saturates(self):
+        p = DIPPolicy(psel_bits=4)
+        for _ in range(100):
+            p.on_miss(0)
+        assert p.psel == 15
+        for _ in range(100):
+            p.on_miss(1)
+        assert p.psel == 0
+
+    def test_followers_use_lru_when_psel_low(self):
+        p = DIPPolicy()
+        p.psel = 0
+        assert p._use_lru_insertion(5)
+
+    def test_followers_use_bip_when_psel_high(self):
+        p = DIPPolicy()
+        p.psel = p.psel_max
+        assert not p._use_lru_insertion(5)
+
+    def test_lru_leader_always_mru_inserts(self):
+        p = DIPPolicy()
+        p.psel = p.psel_max  # even with PSEL against LRU
+        state = p.make_state(4)
+        p.on_insert(state, 3, 0)  # set 0 is an LRU leader
+        assert state[0] == 3
+
+    def test_bip_leader_mostly_lru_inserts(self):
+        p = DIPPolicy(seed=11)
+        lru_position_inserts = 0
+        for _ in range(200):
+            state = p.make_state(4)
+            p.on_insert(state, 0, 1)  # set 1 is a BIP leader
+            if state[-1] == 0:
+                lru_position_inserts += 1
+        # BIP inserts at LRU except ~1/32 of the time.
+        assert lru_position_inserts > 150
+
+    def test_hit_promotes(self):
+        p = DIPPolicy()
+        state = p.make_state(4)
+        p.on_hit(state, 2, 7)
+        assert state[0] == 2
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("lru", LRUPolicy), ("random", RandomPolicy), ("nru", NRUPolicy), ("dip", DIPPolicy)],
+    )
+    def test_known_policies(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_policy("LRU"), LRUPolicy)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_policy("plru")

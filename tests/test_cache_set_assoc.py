@@ -1,0 +1,166 @@
+"""Tests for the functional set-associative cache."""
+
+import pytest
+
+from repro.cache.replacement import LRUPolicy, RandomPolicy
+from repro.cache.set_assoc import Eviction, SetAssocCache
+
+
+@pytest.fixture
+def cache():
+    return SetAssocCache(num_sets=4, ways=2, policy=LRUPolicy())
+
+
+class TestBasics:
+    def test_construction_validates(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(0, 2)
+        with pytest.raises(ValueError):
+            SetAssocCache(4, 0)
+
+    def test_capacity(self, cache):
+        assert cache.capacity_lines == 8
+
+    def test_set_index_is_modulo(self, cache):
+        assert cache.set_index(0) == 0
+        assert cache.set_index(5) == 1
+        assert cache.set_index(7) == 3
+
+    def test_non_power_of_two_sets(self):
+        c = SetAssocCache(num_sets=29, ways=1)
+        assert c.set_index(30) == 1
+
+
+class TestLookupAndFill:
+    def test_miss_on_empty(self, cache):
+        assert not cache.lookup(0)
+
+    def test_fill_then_hit(self, cache):
+        cache.fill(0)
+        assert cache.lookup(0)
+
+    def test_probe_does_not_count(self, cache):
+        cache.fill(0)
+        cache.probe(0)
+        assert cache.stats.counter("hits").value == 0
+
+    def test_same_set_different_tags(self, cache):
+        cache.fill(0)
+        cache.fill(4)  # same set (mod 4), second way
+        assert cache.lookup(0) and cache.lookup(4)
+
+    def test_eviction_on_full_set(self, cache):
+        cache.fill(0)
+        cache.fill(4)
+        evicted = cache.fill(8)  # set 0 full -> evict LRU (line 0)
+        assert evicted.valid
+        assert evicted.line_address == 0
+        assert not cache.probe(0)
+
+    def test_lru_protects_recent(self, cache):
+        cache.fill(0)
+        cache.fill(4)
+        cache.lookup(0)  # promote 0
+        evicted = cache.fill(8)
+        assert evicted.line_address == 4
+
+    def test_fill_existing_refreshes(self, cache):
+        cache.fill(0)
+        cache.fill(4)
+        evicted = cache.fill(0)  # re-fill resident line
+        assert not evicted.valid
+        assert cache.probe(0) and cache.probe(4)
+
+    def test_fill_empty_way_no_eviction(self, cache):
+        assert not cache.fill(0).valid
+
+
+class TestDirty:
+    def test_write_hit_sets_dirty(self, cache):
+        cache.fill(0)
+        cache.lookup(0, is_write=True)
+        assert cache.is_dirty(0)
+
+    def test_read_does_not_dirty(self, cache):
+        cache.fill(0)
+        cache.lookup(0)
+        assert not cache.is_dirty(0)
+
+    def test_fill_dirty(self, cache):
+        cache.fill(0, dirty=True)
+        assert cache.is_dirty(0)
+
+    def test_dirty_eviction_flagged(self, cache):
+        cache.fill(0, dirty=True)
+        cache.fill(4)
+        evicted = cache.fill(8)
+        assert evicted.dirty and evicted.line_address == 0
+
+    def test_refill_preserves_dirty(self, cache):
+        cache.fill(0, dirty=True)
+        cache.fill(0, dirty=False)
+        assert cache.is_dirty(0)
+
+    def test_is_dirty_absent_line(self, cache):
+        assert not cache.is_dirty(99)
+
+
+class TestInvalidate:
+    def test_invalidate_removes(self, cache):
+        cache.fill(0)
+        assert cache.invalidate(0)
+        assert not cache.probe(0)
+
+    def test_invalidate_absent(self, cache):
+        assert not cache.invalidate(0)
+
+    def test_invalidate_clears_dirty(self, cache):
+        cache.fill(0, dirty=True)
+        cache.invalidate(0)
+        cache.fill(0)
+        assert not cache.is_dirty(0)
+
+
+class TestStatsAndIntrospection:
+    def test_hit_rate(self, cache):
+        cache.fill(0)
+        cache.lookup(0)
+        cache.lookup(1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty(self, cache):
+        assert cache.hit_rate == 0.0
+
+    def test_occupancy(self, cache):
+        assert cache.occupancy() == 0.0
+        cache.fill(0)
+        cache.fill(1)
+        assert cache.occupancy() == pytest.approx(0.25)
+
+    def test_resident_lines(self, cache):
+        cache.fill(0)
+        cache.fill(5)
+        assert sorted(cache.resident_lines()) == [0, 5]
+
+    def test_set_contents(self, cache):
+        cache.fill(0, dirty=True)
+        tags, dirty = cache.set_contents(0)
+        assert 0 in tags
+        assert dirty[tags.index(0)]
+
+    def test_dirty_eviction_counter(self, cache):
+        cache.fill(0, dirty=True)
+        cache.fill(4)
+        cache.fill(8)
+        assert cache.stats.counter("dirty_evictions").value == 1
+
+    def test_no_duplicate_tags_after_churn(self):
+        cache = SetAssocCache(3, 4, policy=RandomPolicy(seed=1))
+        for i in range(300):
+            line = i % 30
+            if not cache.lookup(line):
+                cache.fill(line)
+        for s in range(3):
+            tags, _ = cache.set_contents(s)
+            real = [t for t in tags if t != -1]
+            assert len(real) == len(set(real))

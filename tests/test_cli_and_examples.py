@@ -1,0 +1,69 @@
+"""Tests for CLI extras (CSV export) and example-script integrity."""
+
+import csv
+import py_compile
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestCsvExport:
+    def test_csv_written(self, tmp_path, capsys):
+        assert main(["fig1", "--csv", str(tmp_path / "out")]) == 0
+        csv_path = tmp_path / "out" / "fig1.csv"
+        assert csv_path.exists()
+        with open(csv_path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "cache"
+        assert len(rows) == 3  # header + fast + slow
+
+    def test_multiple_experiments_multiple_files(self, tmp_path, capsys):
+        assert main(["fig1", "table4", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "fig1.csv").exists()
+        assert (tmp_path / "table4.csv").exists()
+
+    def test_report_write_csv_roundtrip(self, tmp_path):
+        from repro.experiments.report import ExperimentResult, write_csv
+
+        result = ExperimentResult("t", "t", headers=["a", "b"], rows=[[1, 2.5]])
+        path = tmp_path / "t.csv"
+        write_csv(result, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2.5"]]
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "quickstart.py",
+            "design_comparison.py",
+            "predictor_study.py",
+            "capacity_planning.py",
+        ],
+    )
+    def test_example_compiles(self, script):
+        py_compile.compile(str(EXAMPLES_DIR / script), doraise=True)
+
+    def test_examples_directory_complete(self):
+        scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+        assert "quickstart.py" in scripts
+        assert len(scripts) >= 3
+
+    def test_map_i_demo_runs(self, capsys):
+        """The predictor_study demonstration path, without the sweep."""
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "predictor_study", EXAMPLES_DIR / "predictor_study.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.demonstrate_map_i()
+        out = capsys.readouterr().out
+        assert "96 bytes/core" in out

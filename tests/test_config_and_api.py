@@ -1,0 +1,95 @@
+"""Tests for SystemConfig scaling rules and the public API surface."""
+
+import pytest
+
+import repro
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+from repro.units import GB, MB
+
+
+class TestSystemConfig:
+    def test_paper_defaults(self):
+        config = SystemConfig()
+        assert config.num_cores == 8
+        assert config.l3_latency == 24
+        assert config.sram_tag_latency == 24
+        assert config.missmap_latency == 24
+        assert config.predictor_latency == 1
+        assert config.cache_size_bytes == 256 * MB
+
+    def test_scaled_cache_bytes(self):
+        config = SystemConfig(cache_size_bytes=256 * MB, capacity_scale=256)
+        assert config.scaled_cache_bytes == 1 * MB
+
+    def test_scaled_cache_is_whole_rows(self):
+        config = SystemConfig(cache_size_bytes=100 * 2048 * 256 + 999, capacity_scale=256)
+        assert config.scaled_cache_bytes % 2048 == 0
+
+    def test_scaled_cache_never_below_one_row(self):
+        config = SystemConfig(cache_size_bytes=1024, capacity_scale=4096)
+        assert config.scaled_cache_bytes == 2048
+
+    def test_with_cache_size(self):
+        config = SystemConfig().with_cache_size(1 * GB)
+        assert config.cache_size_bytes == 1 * GB
+        assert SystemConfig().cache_size_bytes == 256 * MB  # original frozen
+
+    def test_with_scale(self):
+        assert SystemConfig().with_scale(64).capacity_scale == 64
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SystemConfig().num_cores = 4  # type: ignore[misc]
+
+
+class TestSimResult:
+    def make(self, cycles=1000.0, instructions=4000):
+        return SimResult(
+            workload="w", design="d", cycles=cycles, instructions=instructions
+        )
+
+    def test_ipc(self):
+        assert self.make().ipc == pytest.approx(4.0)
+
+    def test_ipc_zero_cycles(self):
+        assert self.make(cycles=0.0).ipc == 0.0
+
+    def test_speedup_vs_rejects_empty(self):
+        with pytest.raises(ValueError):
+            self.make(cycles=0.0).speedup_vs(self.make())
+
+    def test_scenario_fractions_empty(self):
+        assert self.make().scenario_fractions() == {}
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_design_names_cover_paper(self):
+        for required in (
+            "no-cache",
+            "sram-tag",
+            "lh-cache",
+            "alloy-map-i",
+            "ideal-lo",
+        ):
+            assert required in repro.DESIGN_NAMES
+
+    def test_benchmark_catalogs(self):
+        assert len(repro.PRIMARY_BENCHMARKS) == 10
+        assert len(repro.SECONDARY_BENCHMARKS) == 14
+        assert set(repro.PRIMARY_BENCHMARKS) <= set(repro.ALL_BENCHMARKS)
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_make_predictor_reexported(self):
+        predictor = repro.make_predictor("map-g", 4)
+        assert predictor.num_cores == 4
+
+    def test_alloy_cache_reexported(self):
+        cache = repro.AlloyCache(1 * MB)
+        assert cache.num_sets == 512 * 28

@@ -1,0 +1,84 @@
+"""Tests for the functional Alloy Cache."""
+
+import pytest
+
+from repro.core.alloy import AlloyCache
+from repro.units import MB
+
+
+@pytest.fixture
+def alloy():
+    return AlloyCache(capacity_bytes=1 * MB)
+
+
+class TestGeometryIntegration:
+    def test_sets_match_geometry(self, alloy):
+        assert alloy.num_sets == alloy.geometry.num_sets
+        assert alloy.capacity_lines == alloy.num_sets
+
+    def test_row_of_consecutive_lines(self, alloy):
+        # Lines mapping to consecutive sets live in the same stacked row.
+        assert alloy.row_of(0) == alloy.row_of(27)
+        assert alloy.row_of(27) != alloy.row_of(28)
+
+
+class TestFunctional:
+    def test_miss_fill_hit(self, alloy):
+        assert not alloy.lookup(100)
+        alloy.fill(100)
+        assert alloy.lookup(100)
+        assert alloy.probe(100)
+
+    def test_conflict_eviction(self, alloy):
+        alloy.fill(0)
+        evicted = alloy.fill(alloy.num_sets)  # same set
+        assert evicted.valid and evicted.line_address == 0
+
+    def test_dirty_tracking(self, alloy):
+        alloy.fill(5)
+        alloy.lookup(5, is_write=True)
+        assert alloy.is_dirty(5)
+        assert alloy.invalidate(5)
+        assert not alloy.probe(5)
+
+    def test_hit_rate_and_occupancy(self, alloy):
+        alloy.fill(1)
+        alloy.lookup(1)
+        alloy.lookup(2)
+        assert alloy.hit_rate == pytest.approx(0.5)
+        assert 0 < alloy.occupancy() < 1
+
+    def test_resident_lines(self, alloy):
+        alloy.fill(3)
+        assert alloy.resident_lines() == [3]
+
+
+class TestTwoWay:
+    def test_two_way_absorbs_one_conflict(self):
+        two = AlloyCache(1 * MB, ways=2)
+        line_a, line_b = 0, two.num_sets  # same set
+        two.fill(line_a)
+        evicted = two.fill(line_b)
+        assert not evicted.valid
+        assert two.probe(line_a) and two.probe(line_b)
+
+    def test_two_way_lru_eviction(self):
+        two = AlloyCache(1 * MB, ways=2)
+        s = two.num_sets
+        two.fill(0)
+        two.fill(s)
+        two.lookup(0)  # promote
+        evicted = two.fill(2 * s)
+        assert evicted.line_address == s
+
+    def test_hit_rate_no_worse_than_direct_mapped(self):
+        """On a conflict-heavy stream, 2 ways never hit less than 1 way."""
+        one = AlloyCache(1 * MB, ways=1)
+        two = AlloyCache(1 * MB, ways=2)
+        stride = one.num_sets
+        stream = [i % 3 * stride for i in range(300)]
+        for cache in (one, two):
+            for line in stream:
+                if not cache.lookup(line):
+                    cache.fill(line)
+        assert two.hit_rate >= one.hit_rate

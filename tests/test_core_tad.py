@@ -1,0 +1,113 @@
+"""Tests for TAD geometry (paper Section 4.1, Figure 5)."""
+
+import pytest
+
+from repro.core.tad import AlloyGeometry
+from repro.units import MB, ROW_BUFFER_SIZE, TAD_SIZE
+
+
+@pytest.fixture
+def geometry():
+    return AlloyGeometry(capacity_bytes=1 * MB)
+
+
+class TestConstruction:
+    def test_rejects_partial_rows(self):
+        with pytest.raises(ValueError):
+            AlloyGeometry(ROW_BUFFER_SIZE + 1)
+
+    def test_rejects_bad_ways(self):
+        with pytest.raises(ValueError):
+            AlloyGeometry(1 * MB, ways=3)
+
+    def test_rows_and_sets(self, geometry):
+        assert geometry.num_rows == 512
+        assert geometry.sets_per_row == 28
+        assert geometry.num_sets == 512 * 28
+
+    def test_data_capacity_is_28_of_32(self, geometry):
+        assert geometry.data_capacity_bytes == geometry.capacity_bytes * 28 * 64 // 2048
+
+    def test_32_unused_bytes_per_row(self, geometry):
+        assert geometry.unused_bytes_per_row == 32
+
+
+class TestSetMapping:
+    def test_modulo_indexing(self, geometry):
+        assert geometry.set_index(0) == 0
+        assert geometry.set_index(geometry.num_sets + 5) == 5
+
+    def test_consecutive_sets_share_rows(self, geometry):
+        # 28 consecutive sets per row: the de-optimization that restores
+        # row-buffer locality (Table 1).
+        assert geometry.row_of_set(0) == geometry.row_of_set(27)
+        assert geometry.row_of_set(27) != geometry.row_of_set(28)
+
+    def test_same_row_helper(self, geometry):
+        assert geometry.same_row(0, 27)
+        assert not geometry.same_row(27, 28)
+
+    def test_slot_and_offset(self, geometry):
+        assert geometry.slot_of_set(0) == 0
+        assert geometry.slot_of_set(1) == 1
+        assert geometry.byte_offset_of_set(1) == TAD_SIZE
+        assert geometry.byte_offset_of_set(28) == 0  # next row, slot 0
+
+
+class TestTransfers:
+    def test_every_tad_is_five_beats(self, geometry):
+        """Figure 5: one TAD = 80 bytes = 5 x 16 B beats, regardless of slot."""
+        for set_index in range(28):
+            transfer = geometry.transfer_for_set(set_index)
+            assert transfer.bus_beats == 5
+            assert transfer.bytes_on_bus == 80
+            assert transfer.useful_bytes == 72
+
+    def test_even_sets_ignore_trailing(self, geometry):
+        t = geometry.transfer_for_set(0)
+        assert t.ignored_leading_bytes == 0
+        assert t.ignored_trailing_bytes == 8
+
+    def test_odd_sets_ignore_leading(self, geometry):
+        t = geometry.transfer_for_set(1)
+        assert t.ignored_leading_bytes == 8
+        assert t.ignored_trailing_bytes == 0
+
+    def test_alignment_alternates_with_slot_parity(self, geometry):
+        for set_index in range(28):
+            t = geometry.transfer_for_set(set_index)
+            if set_index % 2 == 0:
+                assert t.ignored_leading_bytes == 0
+            else:
+                assert t.ignored_leading_bytes == 8
+
+    def test_burst8_restriction(self, geometry):
+        # Section 6.5: power-of-two bursts stream 128 bytes.
+        t = geometry.transfer_for_set(0, burst_beats=8)
+        assert t.bus_beats == 8
+        assert t.bytes_on_bus == 128
+        assert t.useful_bytes == 72
+
+    def test_burst_too_short_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.transfer_for_set(0, burst_beats=4)
+
+
+class TestTwoWay:
+    def test_sets_halve(self):
+        g = AlloyGeometry(1 * MB, ways=2)
+        assert g.sets_per_row == 14
+        assert g.num_sets == 512 * 14
+
+    def test_transfer_roughly_doubles(self):
+        # Section 6.7: two TADs stream ~2x the burst (9-10 beats).
+        g = AlloyGeometry(1 * MB, ways=2)
+        for set_index in range(14):
+            t = g.transfer_for_set(set_index)
+            assert t.bus_beats in (9, 10)
+            assert t.useful_bytes == 144
+
+    def test_capacity_unchanged(self):
+        one = AlloyGeometry(1 * MB, ways=1)
+        two = AlloyGeometry(1 * MB, ways=2)
+        assert one.data_capacity_bytes == two.data_capacity_bytes

@@ -1,0 +1,189 @@
+"""Tests for the resource-timeline DRAM device, anchored to Figure 3."""
+
+import pytest
+
+from repro.dram.device import DramDevice, PriorityTimeline
+from repro.dram.mapping import RowLocation
+from repro.dram.timings import OFFCHIP_DDR3, STACKED_DRAM
+
+
+@pytest.fixture
+def memory():
+    return DramDevice(OFFCHIP_DDR3)
+
+
+@pytest.fixture
+def stacked():
+    return DramDevice(STACKED_DRAM)
+
+
+LOC = RowLocation(channel=0, bank=0, row=0)
+OTHER_ROW = RowLocation(channel=0, bank=0, row=7)
+OTHER_BANK = RowLocation(channel=0, bank=1, row=0)
+OTHER_CHANNEL = RowLocation(channel=1, bank=0, row=0)
+
+
+class TestIsolatedLatencies:
+    """Isolated accesses must reproduce the paper's Figure 3 numbers."""
+
+    def test_memory_row_miss_is_88_cycles(self, memory):
+        result = memory.access(0.0, LOC)
+        assert result.done == 88  # ACT 36 + CAS 36 + bus 16 (type Y)
+
+    def test_memory_row_hit_is_52_cycles(self, memory):
+        memory.access(0.0, LOC)
+        result = memory.access(1000.0, LOC)
+        assert result.done - 1000.0 == 52  # CAS 36 + bus 16 (type X)
+
+    def test_stacked_row_miss_is_40_cycles(self, stacked):
+        assert stacked.access(0.0, LOC).done == 40  # 18 + 18 + 4
+
+    def test_stacked_row_hit_is_22_cycles(self, stacked):
+        stacked.access(0.0, LOC)
+        result = stacked.access(500.0, LOC)
+        assert result.done - 500.0 == 22
+
+    def test_tad_burst_adds_one_cycle(self, stacked):
+        # An 80 B TAD costs one extra bus beat over a 64 B line.
+        line = stacked.access(0.0, LOC, burst_cycles=4).done
+        stacked.reset()
+        tad = stacked.access(0.0, LOC, burst_cycles=5).done
+        assert tad - line == 1
+
+
+class TestRowBuffer:
+    def test_row_hit_flag(self, stacked):
+        assert not stacked.access(0.0, LOC).row_hit
+        assert stacked.access(100.0, LOC).row_hit
+
+    def test_row_conflict_closes_row(self, stacked):
+        stacked.access(0.0, LOC)
+        assert not stacked.access(100.0, OTHER_ROW).row_hit
+        assert not stacked.access(200.0, LOC).row_hit
+
+    def test_open_row_tracking(self, stacked):
+        stacked.access(0.0, LOC)
+        assert stacked.open_row_at(LOC) == 0
+        assert stacked.would_row_hit(LOC)
+        assert not stacked.would_row_hit(OTHER_ROW)
+
+    def test_row_hit_rate_stat(self, stacked):
+        stacked.access(0.0, LOC)
+        stacked.access(100.0, LOC)
+        assert stacked.row_hit_rate == pytest.approx(0.5)
+
+
+class TestContention:
+    def test_same_bank_queues(self, stacked):
+        first = stacked.access(0.0, LOC)
+        second = stacked.access(0.0, LOC)
+        assert second.start >= first.done
+        assert second.queue_delay > 0
+
+    def test_other_bank_does_not_queue(self, stacked):
+        stacked.access(0.0, LOC)
+        result = stacked.access(0.0, OTHER_BANK)
+        assert result.queue_delay == 0
+
+    def test_other_channel_independent(self, stacked):
+        stacked.access(0.0, LOC)
+        result = stacked.access(0.0, OTHER_CHANNEL)
+        assert result.done == 40
+
+    def test_bus_shared_within_channel(self, stacked):
+        # Two banks on one channel contend for the data bus.
+        a = stacked.access(0.0, LOC)
+        b = stacked.access(0.0, OTHER_BANK)
+        assert b.done >= a.done  # second burst serialized on the bus
+
+    def test_timeline_monotone(self, stacked):
+        last = 0.0
+        for i in range(20):
+            result = stacked.access(float(i), LOC)
+            assert result.done >= last
+            last = result.done
+
+
+class TestPriority:
+    def test_demand_barely_blocked_by_one_background_op(self, stacked):
+        stacked.access(0.0, LOC, background=True)
+        demand = stacked.access(0.0, LOC)
+        # Blocked by at most one burst tail (t_cas + line_burst = 22).
+        assert demand.queue_delay <= 22
+
+    def test_demand_blocked_fully_by_demand(self, stacked):
+        first = stacked.access(0.0, LOC)
+        second = stacked.access(0.0, LOC)
+        assert second.start >= first.done
+
+    def test_background_queues_behind_background(self, stacked):
+        a = stacked.access(0.0, LOC, background=True)
+        b = stacked.access(0.0, LOC, background=True)
+        assert b.start >= a.done - 5  # service ordering preserved
+
+    def test_heavy_backlog_throttles_demand(self, stacked):
+        # Pile up far more background work than the write-buffer watermark:
+        # demand must eventually wait for the drain.
+        for _ in range(40):
+            stacked.access(0.0, LOC, background=True)
+        demand = stacked.access(0.0, LOC)
+        assert demand.queue_delay > 100
+
+    def test_background_counted(self, stacked):
+        stacked.access(0.0, LOC, background=True)
+        stacked.access(0.0, LOC)
+        assert stacked.stats.counter("background_accesses").value == 1
+        assert stacked.stats.counter("accesses").value == 2
+
+
+class TestPriorityTimeline:
+    def test_background_serial(self):
+        t = PriorityTimeline()
+        assert t.reserve(0.0, 10, True, 5, 100) == 0.0
+        assert t.reserve(0.0, 10, True, 5, 100) == 10.0
+
+    def test_demand_skips_small_backlog(self):
+        t = PriorityTimeline()
+        t.reserve(0.0, 10, True, 5, 100)
+        start = t.reserve(0.0, 10, False, 5, 100)
+        assert start == 5.0  # one block_cap, not the full 10
+
+    def test_demand_service_pushes_background_back(self):
+        t = PriorityTimeline()
+        t.reserve(0.0, 10, True, 5, 100)
+        t.reserve(0.0, 10, False, 5, 100)
+        # Total occupancy conserved: 10 background + 10 demand.
+        assert t.all_free >= 20.0
+
+    def test_backlog_accessor(self):
+        t = PriorityTimeline()
+        t.reserve(0.0, 30, True, 5, 100)
+        assert t.backlog_at(10.0) == pytest.approx(20.0)
+        assert t.backlog_at(50.0) == 0.0
+
+
+class TestAccessLine:
+    def test_uses_mapping(self, memory):
+        r1 = memory.access_line(0.0, 0)
+        r2 = memory.access_line(r1.done, 1)
+        assert r2.row_hit  # adjacent lines share a row
+
+    def test_write_counted(self, memory):
+        memory.access_line(0.0, 0, is_write=True)
+        assert memory.stats.counter("write_accesses").value == 1
+
+
+class TestUtilities:
+    def test_bus_utilization(self, stacked):
+        stacked.access(0.0, LOC)  # 4 bus cycles over 4 channels
+        assert stacked.bus_utilization(100.0) == pytest.approx(0.01)
+
+    def test_bus_utilization_zero_elapsed(self, stacked):
+        assert stacked.bus_utilization(0.0) == 0.0
+
+    def test_reset(self, stacked):
+        stacked.access(0.0, LOC)
+        stacked.reset()
+        assert stacked.stats.counter("accesses").value == 0
+        assert stacked.open_row_at(LOC) is None
+        assert stacked.access(0.0, LOC).done == 40

@@ -1,0 +1,68 @@
+"""Tests for line-address -> (channel, bank, row) mapping."""
+
+from repro.dram.mapping import AddressMapping, RowLocation
+
+import pytest
+
+
+@pytest.fixture
+def mapping():
+    # Off-chip shape: 2 channels, 8 banks, 2 KB rows (32 lines).
+    return AddressMapping(channels=2, banks_per_channel=8, row_bytes=2048)
+
+
+class TestLocate:
+    def test_first_row(self, mapping):
+        loc = mapping.locate(0)
+        assert loc == RowLocation(channel=0, bank=0, row=0)
+
+    def test_lines_within_row_share_location(self, mapping):
+        locs = {mapping.locate(i) for i in range(32)}
+        assert len(locs) == 1
+
+    def test_next_row_changes_channel(self, mapping):
+        assert mapping.locate(32).channel == 1
+
+    def test_channels_then_banks(self, mapping):
+        # Third row chunk wraps back to channel 0, bank 1.
+        loc = mapping.locate(64)
+        assert loc.channel == 0
+        assert loc.bank == 1
+
+    def test_row_increments_after_all_banks(self, mapping):
+        lines_per_row = 32
+        chunk = 2 * 8  # channels * banks chunks before the row id bumps
+        loc = mapping.locate(chunk * lines_per_row)
+        assert loc.row == 1
+        assert loc.bank == 0
+        assert loc.channel == 0
+
+
+class TestSameRow:
+    def test_adjacent_lines(self, mapping):
+        assert mapping.same_row(0, 31)
+
+    def test_row_boundary(self, mapping):
+        assert not mapping.same_row(31, 32)
+
+    def test_far_addresses(self, mapping):
+        assert not mapping.same_row(0, 10_000)
+
+
+class TestSequentialLocality:
+    def test_stream_mostly_row_hits(self, mapping):
+        """A sequential stream revisits each row for 32 consecutive lines —
+        the paper's 'type X' behaviour."""
+        transitions_same_row = 0
+        total = 0
+        for i in range(255):
+            total += 1
+            if mapping.locate(i) == mapping.locate(i + 1):
+                transitions_same_row += 1
+        assert transitions_same_row / total > 0.9
+
+
+class TestValidation:
+    def test_row_must_hold_whole_lines(self):
+        with pytest.raises(ValueError):
+            AddressMapping(1, 1, row_bytes=100)

@@ -1,0 +1,79 @@
+"""Tests for DRAM timing presets (paper Table 2 / Section 2.4)."""
+
+import pytest
+
+from repro.dram.timings import DramTimings, OFFCHIP_DDR3, STACKED_DRAM
+
+
+class TestOffchipPreset:
+    def test_paper_latencies(self):
+        assert OFFCHIP_DDR3.t_act == 36
+        assert OFFCHIP_DDR3.t_cas == 36
+        assert OFFCHIP_DDR3.line_burst == 16
+
+    def test_geometry(self):
+        assert OFFCHIP_DDR3.channels == 2
+        assert OFFCHIP_DDR3.banks_per_channel == 8
+        assert OFFCHIP_DDR3.row_bytes == 2048
+
+    def test_isolated_access_latencies_match_fig3(self):
+        # Type X (row-buffer hit): 52 cycles; type Y (activate): 88 cycles.
+        assert OFFCHIP_DDR3.line_access_latency(row_hit=True) == 52
+        assert OFFCHIP_DDR3.line_access_latency(row_hit=False) == 88
+
+
+class TestStackedPreset:
+    def test_paper_latencies(self):
+        assert STACKED_DRAM.t_act == 18
+        assert STACKED_DRAM.t_cas == 18
+        assert STACKED_DRAM.line_burst == 4
+
+    def test_geometry(self):
+        assert STACKED_DRAM.channels == 4
+        assert STACKED_DRAM.bus_bytes == 16
+
+    def test_isolated_access_latencies_match_fig3(self):
+        # IDEAL-LO hit: X = 22 cycles, Y = 40 cycles.
+        assert STACKED_DRAM.line_access_latency(row_hit=True) == 22
+        assert STACKED_DRAM.line_access_latency(row_hit=False) == 40
+
+
+class TestBurstMath:
+    def test_full_line(self):
+        assert STACKED_DRAM.burst_cycles(64) == 4
+        assert OFFCHIP_DDR3.burst_cycles(64) == 16
+
+    def test_tad_is_five_beats(self):
+        # 72 B TAD over a 16 B bus -> 80 B -> 5 beats (Section 4.1).
+        assert STACKED_DRAM.burst_cycles(72) == 5
+        assert STACKED_DRAM.burst_cycles(80) == 5
+
+    def test_partial_beat_rounds_up(self):
+        assert STACKED_DRAM.burst_cycles(1) == 1
+        assert STACKED_DRAM.burst_cycles(17) == 2
+
+    def test_row_latencies(self):
+        assert STACKED_DRAM.row_hit_latency == 18
+        assert STACKED_DRAM.row_miss_latency == 36
+
+
+class TestScaled:
+    def test_override(self):
+        slow = STACKED_DRAM.scaled(t_cas=99)
+        assert slow.t_cas == 99
+        assert slow.t_act == STACKED_DRAM.t_act
+
+    def test_original_unchanged(self):
+        STACKED_DRAM.scaled(t_act=1)
+        assert STACKED_DRAM.t_act == 18
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            STACKED_DRAM.t_cas = 5  # type: ignore[misc]
+
+    def test_custom_timings(self):
+        t = DramTimings(
+            name="t", t_act=10, t_cas=5, t_rp=2, line_burst=8,
+            bus_bytes=8, channels=1, banks_per_channel=2, row_bytes=1024,
+        )
+        assert t.line_access_latency(row_hit=False) == 23

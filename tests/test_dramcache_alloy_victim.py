@@ -1,0 +1,149 @@
+"""Tests for the Alloy + SRAM victim buffer extension design."""
+
+import pytest
+
+from repro.cache.missmap import MissMap
+from repro.dram.device import DramDevice
+from repro.dramcache.alloy_victim import VICTIM_HIT_CYCLES, AlloyVictimDesign
+from repro.sim.config import SystemConfig
+from repro.units import MB
+
+
+class FakeScheduler:
+    def __init__(self):
+        self.pending = []
+
+    def __call__(self, when, fn):
+        self.pending.append((when, fn))
+
+    def drain(self):
+        while self.pending:
+            self.pending.sort(key=lambda item: item[0])
+            when, fn = self.pending.pop(0)
+            fn(when)
+
+
+@pytest.fixture
+def env():
+    config = SystemConfig(cache_size_bytes=256 * MB, capacity_scale=4096)
+    stacked = DramDevice(config.stacked, name="stacked")
+    memory = DramDevice(config.offchip, name="memory")
+    sched = FakeScheduler()
+    design = AlloyVictimDesign(
+        config, stacked, memory, sched, predictor=None, victim_entries=4
+    )
+    return design, sched, stacked, memory
+
+
+def read(design, line, t=0.0):
+    return design.access(t, line, False, 0x400, 0)
+
+
+class TestVictimBuffer:
+    def test_rejects_missmap(self):
+        config = SystemConfig(capacity_scale=4096)
+        stacked = DramDevice(config.stacked)
+        memory = DramDevice(config.offchip)
+        with pytest.raises(ValueError):
+            AlloyVictimDesign(config, stacked, memory, lambda w, f: None,
+                              predictor=MissMap())
+
+    def test_name_and_overhead(self, env):
+        design, *_ = env
+        assert design.name.endswith("+victim4")
+        assert design.sram_overhead_bytes() == 4 * 72
+
+    def test_evicted_line_lands_in_buffer(self, env):
+        design, sched, *_ = env
+        conflict = design.cache.num_sets
+        design.warm(0, False, 0, 0)
+        read(design, conflict)  # evicts line 0 from the DM array
+        sched.drain()
+        assert not design.cache.probe(0)
+        assert design.victims.probe(0)
+
+    def test_victim_hit_is_sram_fast(self, env):
+        design, sched, *_ = env
+        conflict = design.cache.num_sets
+        design.warm(0, False, 0, 0)
+        read(design, conflict)
+        sched.drain()
+        outcome = read(design, 0, t=10_000.0)
+        assert outcome.cache_hit
+        assert outcome.done - 10_000.0 == VICTIM_HIT_CYCLES
+        assert design.stats.counter("victim_hits").value == 1
+
+    def test_swap_back_restores_dm_residency(self, env):
+        design, sched, *_ = env
+        conflict = design.cache.num_sets
+        design.warm(0, False, 0, 0)
+        read(design, conflict)
+        sched.drain()
+        read(design, 0, t=10_000.0)  # victim hit swaps 0 back in
+        sched.drain()
+        assert design.cache.probe(0)
+        assert design.victims.probe(conflict)  # displaced the other way
+
+    def test_ping_pong_pair_never_misses_after_warm(self, env):
+        design, sched, *_ = env
+        a, b = 0, design.cache.num_sets
+        design.warm(a, False, 0, 0)
+        design.warm(b, False, 0, 0)
+        misses_before = design.stats.counter("read_misses").value
+        t = 10_000.0
+        for line in (a, b, a, b, a, b):
+            outcome = read(design, line, t=t)
+            sched.drain()
+            assert outcome.cache_hit
+            t += 1000.0
+        assert design.stats.counter("read_misses").value == misses_before
+
+    def test_dirty_overflow_written_back(self, env):
+        design, sched, *_ = env
+        sets = design.cache.num_sets
+        design.warm(0, False, 0, 0)
+        design.access(0.0, 0, True, 0, 0)  # dirty line 0
+        sched.drain()
+        # Push five distinct victims through a 4-entry buffer.
+        t = 1000.0
+        for k in range(1, 7):
+            design.access(t, k * sets, False, 0, 0)
+            sched.drain()
+            t += 1000.0
+        assert design.stats.counter("memory_writes").value >= 1
+
+    def test_warm_path_consistent_with_timed(self, env):
+        design, sched, *_ = env
+        conflict = design.cache.num_sets
+        design.warm(0, False, 0, 0)
+        design.warm(conflict, False, 0, 0)  # evicts 0 into buffer
+        design.warm(0, False, 0, 0)  # victim hit in warmup, swaps back
+        assert design.cache.probe(0)
+        assert design.victims.probe(conflict)
+
+    def test_victim_hit_rate_metric(self, env):
+        design, sched, *_ = env
+        conflict = design.cache.num_sets
+        design.warm(0, False, 0, 0)
+        read(design, conflict)
+        sched.drain()
+        read(design, 0, t=10_000.0)
+        assert 0 < design.victim_hit_rate <= 1
+
+
+class TestFactoryVariants:
+    def test_victim_designs_build_and_run(self):
+        from repro.sim.runner import run_benchmark
+
+        config = SystemConfig(capacity_scale=2048)
+        result = run_benchmark("alloy-victim16", "sphinx_r", config, reads_per_core=300)
+        assert result.cycles > 0
+        assert result.design.endswith("+victim16")
+
+    def test_victim_never_hurts_hit_rate(self):
+        from repro.sim.runner import run_benchmark
+
+        config = SystemConfig(capacity_scale=1024)
+        base = run_benchmark("alloy-map-i", "mcf_r", config, reads_per_core=800)
+        victim = run_benchmark("alloy-victim64", "mcf_r", config, reads_per_core=800)
+        assert victim.read_hit_rate >= base.read_hit_rate - 0.01

@@ -1,0 +1,65 @@
+"""Tests for the shared experiment sweep helpers."""
+
+import pytest
+
+from repro.experiments.common import (
+    FULL_READS,
+    QUICK_READS,
+    design_geomean,
+    improvement_pct,
+    primary_names,
+    reads_for,
+    secondary_names,
+    sweep,
+)
+from repro.sim.config import SystemConfig
+from repro.units import MB
+
+
+class TestHelpers:
+    def test_reads_for(self):
+        assert reads_for(True) == QUICK_READS
+        assert reads_for(False) == FULL_READS
+        assert QUICK_READS < FULL_READS
+
+    def test_primary_names(self):
+        names = primary_names()
+        assert len(names) == 10
+        assert names[0] == "mcf_r"
+
+    def test_secondary_names(self):
+        assert len(secondary_names()) == 14
+
+    def test_improvement_pct(self):
+        assert improvement_pct(1.35) == pytest.approx(35.0)
+        assert improvement_pct(1.0) == 0.0
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def tiny_sweep(self):
+        config = SystemConfig(cache_size_bytes=256 * MB, capacity_scale=2048)
+        return sweep(
+            ("no-cache", "perfect-l3"),
+            ("sphinx_r", "gcc_r"),
+            quick=True,
+            config=config,
+        )
+
+    def test_grid_complete(self, tiny_sweep):
+        assert len(tiny_sweep) == 4
+        assert ("no-cache", "sphinx_r") in tiny_sweep
+
+    def test_baseline_speedup_is_one(self, tiny_sweep):
+        for benchmark in ("sphinx_r", "gcc_r"):
+            s, _ = tiny_sweep[("no-cache", benchmark)]
+            assert s == pytest.approx(1.0)
+
+    def test_design_geomean(self, tiny_sweep):
+        gmean = design_geomean(tiny_sweep, "perfect-l3")
+        assert gmean > 1.0
+
+    def test_results_attached(self, tiny_sweep):
+        _, result = tiny_sweep[("perfect-l3", "gcc_r")]
+        assert result.design == "perfect-l3"
+        assert result.workload == "gcc_r"

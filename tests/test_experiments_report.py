@@ -1,0 +1,63 @@
+"""Tests for experiment result containers and rendering."""
+
+import pytest
+
+from repro.experiments.report import ExperimentResult, render_table
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult(
+        experiment_id="figX",
+        title="Demo",
+        headers=["workload", "speedup"],
+    )
+    r.add_row("mcf_r", 1.234567)
+    r.add_row("gcc_r", 2.0)
+    r.add_note("a note")
+    return r
+
+
+class TestContainer:
+    def test_add_row(self, result):
+        assert len(result.rows) == 2
+
+    def test_column(self, result):
+        assert result.column("workload") == ["mcf_r", "gcc_r"]
+        assert result.column("speedup") == [1.234567, 2.0]
+
+    def test_column_unknown(self, result):
+        with pytest.raises(ValueError):
+            result.column("nope")
+
+    def test_row_by_key(self, result):
+        assert result.row_by_key("gcc_r")[1] == 2.0
+
+    def test_row_by_key_missing(self, result):
+        with pytest.raises(KeyError):
+            result.row_by_key("lbm_r")
+
+
+class TestRendering:
+    def test_contains_title_and_id(self, result):
+        text = render_table(result)
+        assert "figX" in text and "Demo" in text
+
+    def test_floats_formatted(self, result):
+        assert "1.235" in render_table(result)
+
+    def test_notes_appended(self, result):
+        assert "note: a note" in render_table(result)
+
+    def test_columns_aligned(self, result):
+        lines = render_table(result).splitlines()
+        header_line = lines[1]
+        separator = lines[2]
+        assert len(header_line) == len(separator)
+
+    def test_str_dunder(self, result):
+        assert str(result) == result.render()
+
+    def test_int_cells(self):
+        r = ExperimentResult("t", "t", headers=["a"], rows=[[42]])
+        assert "42" in render_table(r)

@@ -1,0 +1,83 @@
+"""Tests for the reproduction scorecard (criterion logic, cheap paths)."""
+
+import pytest
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.scorecard import (
+    CRITERIA,
+    _fig4_ordering,
+    _gap_shrinks_with_size,
+    _hit_latency_ordering,
+    _improvement_ladder,
+    _twoway_not_worth_it,
+)
+
+
+def fake(experiment_id, headers, rows):
+    return ExperimentResult(experiment_id, "t", headers=headers, rows=rows)
+
+
+class TestCriterionLogic:
+    def test_fig4_ordering(self):
+        good = {"fig4": fake("fig4", ["w", "lh", "sram", "ideal"],
+                             [["gmean", 1.0, 1.2, 1.3]])}
+        bad = {"fig4": fake("fig4", ["w", "lh", "sram", "ideal"],
+                            [["gmean", 1.4, 1.2, 1.3]])}
+        assert _fig4_ordering(good)
+        assert not _fig4_ordering(bad)
+
+    def test_hit_latency_window(self):
+        headers = ["w", "lh", "sram", "alloy"]
+        good = {"fig10": fake("fig10", headers, [["average", 110.0, 62.0, 34.0]])}
+        too_fast_lh = {"fig10": fake("fig10", headers, [["average", 70.0, 62.0, 34.0]])}
+        assert _hit_latency_ordering(good)
+        assert not _hit_latency_ordering(too_fast_lh)
+
+    def test_gap_shrinks(self):
+        headers = ["size", "lh", "alloy", "delta_pct"]
+        good = {"table6": fake("table6", headers,
+                               [["256MB", 0, 0, 8.0], ["1GB", 0, 0, 2.0]])}
+        bad = {"table6": fake("table6", headers,
+                              [["256MB", 0, 0, 2.0], ["1GB", 0, 0, 8.0]])}
+        assert _gap_shrinks_with_size(good)
+        assert not _gap_shrinks_with_size(bad)
+
+    def test_improvement_ladder(self):
+        headers = ["design", "improvement_pct", "paper"]
+        good = {"table7": fake("table7", headers,
+                               [["a", 23.0, 0], ["b", 28.0, 0], ["c", 31.0, 0]])}
+        bad = {"table7": fake("table7", headers,
+                              [["a", 31.0, 0], ["b", 23.0, 0]])}
+        assert _improvement_ladder(good)
+        assert not _improvement_ladder(bad)
+
+    def test_twoway(self):
+        headers = ["design", "improvement_pct", "hit", "hit_latency"]
+        tie = {"twoway": fake("twoway", headers,
+                              [["alloy-map-i", 27.0, 48.0, 34.0],
+                               ["alloy-2way", 27.5, 56.0, 41.0]])}
+        big_win = {"twoway": fake("twoway", headers,
+                                  [["alloy-map-i", 20.0, 48.0, 34.0],
+                                   ["alloy-2way", 30.0, 56.0, 41.0]])}
+        assert _twoway_not_worth_it(tie)
+        assert not _twoway_not_worth_it(big_win)
+
+
+class TestCriteriaCatalog:
+    def test_names_unique(self):
+        names = [c.name for c in CRITERIA]
+        assert len(names) == len(set(names))
+
+    def test_every_criterion_names_experiments(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        for criterion in CRITERIA:
+            assert criterion.experiments
+            for experiment_id in criterion.experiments:
+                assert experiment_id in EXPERIMENTS
+
+    def test_twelve_claims(self):
+        assert len(CRITERIA) == 12
+
+    def test_title_claim_present(self):
+        assert any(c.name == "alloy-beats-sram" for c in CRITERIA)

@@ -1,0 +1,65 @@
+"""Robustness checks: conclusions must not hinge on one RNG seed."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.runner import run_design
+from repro.workloads.spec import build_workload
+
+BENCHMARKS = ("mcf_r", "sphinx_r")
+SEEDS = (1, 7)
+READS = 2000
+
+
+@pytest.fixture(scope="module")
+def per_seed():
+    config = SystemConfig()
+    out = {}
+    for seed in SEEDS:
+        for benchmark in BENCHMARKS:
+            workload = build_workload(
+                benchmark,
+                num_cores=config.num_cores,
+                reads_per_core=READS,
+                capacity_scale=config.capacity_scale,
+                seed=seed,
+            )
+            base = run_design("no-cache", workload, config)
+            for design in ("sram-tag", "alloy-map-i", "lh-cache"):
+                result = run_design(design, workload, config)
+                out[(seed, benchmark, design)] = (
+                    result.speedup_vs(base),
+                    result,
+                )
+    return out
+
+
+class TestSeedRobustness:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_alloy_beats_lh_every_seed(self, per_seed, seed):
+        for benchmark in BENCHMARKS:
+            alloy = per_seed[(seed, benchmark, "alloy-map-i")][0]
+            lh = per_seed[(seed, benchmark, "lh-cache")][0]
+            assert alloy > lh, (seed, benchmark)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_latency_ordering_every_seed(self, per_seed, seed):
+        for benchmark in BENCHMARKS:
+            alloy = per_seed[(seed, benchmark, "alloy-map-i")][1].avg_hit_latency
+            sram = per_seed[(seed, benchmark, "sram-tag")][1].avg_hit_latency
+            lh = per_seed[(seed, benchmark, "lh-cache")][1].avg_hit_latency
+            assert alloy < sram < lh, (seed, benchmark)
+
+    def test_speedups_stable_across_seeds(self, per_seed):
+        """Same benchmark, different seed: speedups agree within ~15%."""
+        for benchmark in BENCHMARKS:
+            for design in ("sram-tag", "alloy-map-i"):
+                a = per_seed[(SEEDS[0], benchmark, design)][0]
+                b = per_seed[(SEEDS[1], benchmark, design)][0]
+                assert abs(a - b) / a < 0.15, (benchmark, design, a, b)
+
+    def test_hit_rates_stable_across_seeds(self, per_seed):
+        for benchmark in BENCHMARKS:
+            a = per_seed[(SEEDS[0], benchmark, "alloy-map-i")][1].read_hit_rate
+            b = per_seed[(SEEDS[1], benchmark, "alloy-map-i")][1].read_hit_rate
+            assert abs(a - b) < 0.08, (benchmark, a, b)

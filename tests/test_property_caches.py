@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for cache-structure invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.direct_mapped import DirectMappedCache
+from repro.cache.replacement import (
+    DIPPolicy,
+    LRUPolicy,
+    NRUPolicy,
+    RandomPolicy,
+)
+from repro.cache.set_assoc import SetAssocCache
+
+
+ops = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=200), st.booleans()),
+    min_size=1,
+    max_size=300,
+)
+
+policies = st.sampled_from(["lru", "random", "nru", "dip"])
+
+
+def make_policy_instance(name):
+    return {
+        "lru": LRUPolicy,
+        "random": lambda: RandomPolicy(seed=1),
+        "nru": NRUPolicy,
+        "dip": lambda: DIPPolicy(seed=1),
+    }[name]()
+
+
+def drive(cache, operations, allocate_on_write=False):
+    """Replay (line, is_write) ops with fill-on-read-miss semantics."""
+    for line, is_write in operations:
+        hit = cache.lookup(line, is_write=is_write)
+        if not hit and (not is_write or allocate_on_write):
+            cache.fill(line, dirty=is_write and allocate_on_write)
+
+
+class TestSetAssocInvariants:
+    @given(ops=ops, ways=st.integers(1, 8), num_sets=st.integers(1, 13), name=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_no_duplicate_tags(self, ops, ways, num_sets, name):
+        cache = SetAssocCache(num_sets, ways, policy=make_policy_instance(name))
+        drive(cache, ops)
+        for index in range(num_sets):
+            tags, _ = cache.set_contents(index)
+            valid = [t for t in tags if t != -1]
+            assert len(valid) == len(set(valid))
+
+    @given(ops=ops, ways=st.integers(1, 8), num_sets=st.integers(1, 13), name=policies)
+    @settings(max_examples=60, deadline=None)
+    def test_lines_live_in_their_set(self, ops, ways, num_sets, name):
+        cache = SetAssocCache(num_sets, ways, policy=make_policy_instance(name))
+        drive(cache, ops)
+        for index in range(num_sets):
+            tags, _ = cache.set_contents(index)
+            for tag in tags:
+                if tag != -1:
+                    assert tag % num_sets == index
+
+    @given(ops=ops, num_sets=st.integers(1, 13))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_bounded(self, ops, num_sets):
+        cache = SetAssocCache(num_sets, 4)
+        drive(cache, ops)
+        assert 0.0 <= cache.occupancy() <= 1.0
+
+    @given(ops=ops)
+    @settings(max_examples=60, deadline=None)
+    def test_fill_then_probe(self, ops):
+        cache = SetAssocCache(7, 2)
+        for line, _ in ops:
+            cache.fill(line)
+            assert cache.probe(line)
+
+    @given(ops=ops, name=policies)
+    @settings(max_examples=40, deadline=None)
+    def test_resident_count_never_exceeds_capacity(self, ops, name):
+        cache = SetAssocCache(5, 3, policy=make_policy_instance(name))
+        drive(cache, ops)
+        assert len(cache.resident_lines()) <= cache.capacity_lines
+
+    @given(ops=ops)
+    @settings(max_examples=40, deadline=None)
+    def test_eviction_returns_previously_resident_line(self, ops):
+        cache = SetAssocCache(3, 2)
+        resident = set()
+        for line, is_write in ops:
+            hit = cache.lookup(line, is_write=is_write)
+            if not hit and not is_write:
+                evicted = cache.fill(line)
+                resident.add(line)
+                if evicted.valid:
+                    assert evicted.line_address in resident
+                    resident.discard(evicted.line_address)
+
+
+class TestDirectMappedEquivalence:
+    @given(ops=ops, num_sets=st.integers(1, 31))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_one_way_set_assoc(self, ops, num_sets):
+        """DirectMappedCache and SetAssocCache(ways=1) are the same machine."""
+        dm = DirectMappedCache(num_sets)
+        sa = SetAssocCache(num_sets, 1)
+        for line, is_write in ops:
+            assert dm.lookup(line, is_write) == sa.lookup(line, is_write)
+            if not dm.probe(line) and not is_write:
+                ev_dm = dm.fill(line)
+                ev_sa = sa.fill(line)
+                assert (ev_dm.valid, ev_dm.dirty) == (ev_sa.valid, ev_sa.dirty)
+                if ev_dm.valid:
+                    assert ev_dm.line_address == ev_sa.line_address
+        assert sorted(dm.resident_lines()) == sorted(sa.resident_lines())
+
+
+class TestLruIsStackAlgorithm:
+    @given(
+        stream=st.lists(st.integers(0, 40), min_size=5, max_size=200),
+        small=st.integers(1, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_inclusion_property(self, stream, small):
+        """A fully-associative LRU cache of W ways contains a subset of
+        what a 2W-way cache contains (stack inclusion)."""
+        a = SetAssocCache(1, small, policy=LRUPolicy())
+        b = SetAssocCache(1, small * 2, policy=LRUPolicy())
+        for line in stream:
+            for cache in (a, b):
+                if not cache.lookup(line):
+                    cache.fill(line)
+        assert set(a.resident_lines()) <= set(b.resident_lines())
+
+    @given(stream=st.lists(st.integers(0, 30), min_size=1, max_size=150))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_lru(self, stream):
+        """Cache behaviour equals a simple ordered-list reference model."""
+        cache = SetAssocCache(1, 4, policy=LRUPolicy())
+        reference = []  # MRU first
+        for line in stream:
+            hit = cache.lookup(line)
+            assert hit == (line in reference)
+            if hit:
+                reference.remove(line)
+                reference.insert(0, line)
+            else:
+                cache.fill(line)
+                reference.insert(0, line)
+                if len(reference) > 4:
+                    reference.pop()
+        assert set(cache.resident_lines()) == set(reference)
+
+
+class TestMissMapMirrorsCache:
+    @given(ops=ops)
+    @settings(max_examples=40, deadline=None)
+    def test_exact_mirror(self, ops):
+        from repro.cache.missmap import MissMap
+
+        cache = SetAssocCache(5, 2)
+        missmap = MissMap()
+        for line, is_write in ops:
+            hit = cache.lookup(line, is_write=is_write)
+            assert (line in missmap) == hit
+            if not hit and not is_write:
+                evicted = cache.fill(line)
+                missmap.insert(line)
+                if evicted.valid:
+                    missmap.remove(evicted.line_address)
+        assert missmap.tracked_lines == len(cache.resident_lines())

@@ -1,0 +1,94 @@
+"""Property-based tests for the DRAM device timing model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.device import DramDevice
+from repro.dram.mapping import RowLocation
+from repro.dram.timings import STACKED_DRAM
+
+
+accesses = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=10_000),  # arrival offset
+        st.integers(0, 3),   # channel
+        st.integers(0, 7),   # bank
+        st.integers(0, 63),  # row
+        st.integers(1, 16),  # burst
+        st.booleans(),       # background
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestDeviceProperties:
+    @given(accesses=accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_result_ordering_invariants(self, accesses):
+        """start <= data_ready <= done and queue_delay >= 0, always."""
+        device = DramDevice(STACKED_DRAM)
+        now = 0.0
+        for offset, ch, bank, row, burst, background in accesses:
+            now += offset
+            r = device.access(
+                now, RowLocation(ch, bank, row), burst, background=background
+            )
+            assert r.start >= now
+            assert r.data_ready >= r.start + STACKED_DRAM.t_cas
+            assert r.done >= r.data_ready + burst
+            assert r.queue_delay >= 0
+
+    @given(accesses=accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_latency_bounded_below_by_raw(self, accesses):
+        device = DramDevice(STACKED_DRAM)
+        now = 0.0
+        for offset, ch, bank, row, burst, background in accesses:
+            now += offset
+            r = device.access(
+                now, RowLocation(ch, bank, row), burst, background=background
+            )
+            raw = STACKED_DRAM.t_cas + burst
+            assert r.done - now >= raw
+
+    @given(accesses=accesses)
+    @settings(max_examples=60, deadline=None)
+    def test_row_hit_iff_row_open(self, accesses):
+        device = DramDevice(STACKED_DRAM)
+        now = 0.0
+        for offset, ch, bank, row, burst, background in accesses:
+            now += offset
+            loc = RowLocation(ch, bank, row)
+            expected = device.open_row_at(loc) == row
+            r = device.access(now, loc, burst, background=background)
+            assert r.row_hit == expected
+
+    @given(accesses=accesses)
+    @settings(max_examples=40, deadline=None)
+    def test_stats_count_everything(self, accesses):
+        device = DramDevice(STACKED_DRAM)
+        now = 0.0
+        for offset, ch, bank, row, burst, background in accesses:
+            now += offset
+            device.access(now, RowLocation(ch, bank, row), burst, background=background)
+        assert device.stats.counter("accesses").value == len(accesses)
+        assert 0.0 <= device.row_hit_rate <= 1.0
+
+    @given(
+        arrivals=st.lists(
+            st.floats(min_value=0, max_value=50), min_size=2, max_size=60
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_same_bank_demand_fifo(self, arrivals):
+        """Demand accesses to one bank never overlap service windows."""
+        device = DramDevice(STACKED_DRAM)
+        loc = RowLocation(0, 0, 0)
+        now = 0.0
+        last_done = 0.0
+        for offset in arrivals:
+            now += offset
+            r = device.access(now, loc, 4)
+            assert r.start >= last_done - 1e-9 or r.start >= now
+            last_done = r.done

@@ -1,0 +1,115 @@
+"""Property-based tests for predictors and TAD geometry."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predictors import (
+    MAC_MAX,
+    MapGPredictor,
+    MapIPredictor,
+    folded_xor,
+)
+from repro.core.tad import AlloyGeometry
+from repro.units import ROW_BUFFER_SIZE, STACKED_BUS_BYTES, TAD_SIZE
+
+
+class TestFoldedXorProperties:
+    @given(value=st.integers(0, 2**64 - 1), bits=st.integers(1, 16))
+    @settings(max_examples=200, deadline=None)
+    def test_output_in_range(self, value, bits):
+        assert 0 <= folded_xor(value, bits) < (1 << bits)
+
+    @given(value=st.integers(0, 2**64 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_deterministic(self, value):
+        assert folded_xor(value, 8) == folded_xor(value, 8)
+
+    @given(value=st.integers(0, 2**16 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_wide_output_preserves_small_values(self, value):
+        assert folded_xor(value, 16) == value
+
+
+class TestCounterProperties:
+    @given(
+        outcomes=st.lists(st.booleans(), min_size=1, max_size=500),
+        cores=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mapg_counter_always_in_range(self, outcomes, cores):
+        p = MapGPredictor(num_cores=cores)
+        for i, went in enumerate(outcomes):
+            core = i % cores
+            p.predict(core, 0)
+            p.update(core, 0, went)
+            assert 0 <= p.counter(core) <= MAC_MAX
+
+    @given(
+        events=st.lists(
+            st.tuples(st.integers(0, 2**48), st.booleans()),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mapi_counters_always_in_range(self, events):
+        p = MapIPredictor(num_cores=1)
+        for pc, went in events:
+            p.predict(0, pc)
+            p.update(0, pc, went)
+            assert 0 <= p.counter(0, pc) <= MAC_MAX
+
+    @given(st.lists(st.booleans(), min_size=20, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_mapg_converges_on_constant_streams(self, prefix):
+        p = MapGPredictor(num_cores=1)
+        for went in prefix:
+            p.update(0, 0, went)
+        for _ in range(4):
+            p.update(0, 0, True)
+        assert p.predict(0, 0)
+
+
+class TestTadGeometryProperties:
+    @given(
+        rows=st.integers(1, 4096),
+        set_index=st.integers(0, 10**6),
+        ways=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_transfer_alignment_and_size(self, rows, set_index, ways):
+        g = AlloyGeometry(rows * ROW_BUFFER_SIZE, ways=ways)
+        set_index %= g.num_sets
+        t = g.transfer_for_set(set_index)
+        # Bus aligned on both edges.
+        assert t.bytes_on_bus % STACKED_BUS_BYTES == 0
+        assert t.ignored_leading_bytes < STACKED_BUS_BYTES
+        assert t.ignored_trailing_bytes < STACKED_BUS_BYTES
+        # Streams exactly the TAD(s) plus alignment padding.
+        assert t.useful_bytes == TAD_SIZE * ways
+
+    @given(rows=st.integers(1, 4096), line=st.integers(0, 2**40))
+    @settings(max_examples=150, deadline=None)
+    def test_set_mapping_total(self, rows, line):
+        g = AlloyGeometry(rows * ROW_BUFFER_SIZE)
+        s = g.set_index(line)
+        assert 0 <= s < g.num_sets
+        assert 0 <= g.row_of_set(s) < g.num_rows
+        assert 0 <= g.slot_of_set(s) < g.tads_per_row
+
+    @given(rows=st.integers(1, 512))
+    @settings(max_examples=60, deadline=None)
+    def test_every_row_holds_exactly_28_sets(self, rows):
+        g = AlloyGeometry(rows * ROW_BUFFER_SIZE)
+        from collections import Counter
+
+        per_row = Counter(g.row_of_set(s) for s in range(g.num_sets))
+        assert all(count == 28 for count in per_row.values())
+        assert len(per_row) == g.num_rows
+
+    @given(rows=st.integers(1, 512), offset=st.integers(0, 2**30))
+    @settings(max_examples=60, deadline=None)
+    def test_tad_offsets_never_cross_rows(self, rows, offset):
+        g = AlloyGeometry(rows * ROW_BUFFER_SIZE)
+        s = offset % g.num_sets
+        assert g.byte_offset_of_set(s) + TAD_SIZE <= ROW_BUFFER_SIZE

@@ -1,0 +1,71 @@
+"""Property-based tests for trace generation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.units import MB
+from repro.workloads.patterns import Component, PatternConfig, generate_core_trace
+
+kinds = st.sampled_from(["sequential", "hot", "zipf", "pointer"])
+
+
+@st.composite
+def pattern_configs(draw):
+    n_components = draw(st.integers(1, 4))
+    components = tuple(
+        Component(
+            kind=draw(kinds),
+            weight=draw(st.floats(0.1, 1.0)),
+            region_bytes=draw(st.integers(1, 64)) * MB,
+            run_length=draw(st.integers(1, 64)),
+            zipf_alpha=draw(st.floats(1.05, 1.8)),
+            pc_pool=draw(st.integers(1, 16)),
+        )
+        for _ in range(n_components)
+    )
+    return PatternConfig(
+        name="prop",
+        mpki=draw(st.floats(1.0, 60.0)),
+        components=components,
+        write_fraction=draw(st.floats(0.0, 0.4)),
+        gap_mean_cycles=draw(st.floats(1.0, 200.0)),
+    )
+
+
+class TestGeneratorProperties:
+    @given(cfg=pattern_configs(), n=st.integers(1, 400), seed=st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_structural_invariants(self, cfg, n, seed):
+        trace = generate_core_trace(cfg, n, seed=seed)
+        assert trace.num_reads == n
+        assert len(trace) >= n
+        assert (trace.gaps >= 0).all()
+        assert (trace.addresses >= 0).all()
+        assert trace.instructions > 0
+
+    @given(cfg=pattern_configs(), n=st.integers(1, 300), seed=st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_addresses_within_total_region(self, cfg, n, seed):
+        trace = generate_core_trace(cfg, n, seed=seed, capacity_scale=256)
+        total_lines = sum(
+            max(c.region_bytes // 256 // 64, 1) for c in cfg.components
+        )
+        assert int(trace.addresses.max()) < total_lines
+
+    @given(cfg=pattern_configs(), n=st.integers(10, 300), seed=st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_base_line_pure_shift(self, cfg, n, seed):
+        import numpy as np
+
+        a = generate_core_trace(cfg, n, seed=seed, base_line=0)
+        b = generate_core_trace(cfg, n, seed=seed, base_line=12345)
+        assert np.array_equal(a.addresses + 12345, b.addresses)
+        assert np.array_equal(a.is_write, b.is_write)
+
+    @given(cfg=pattern_configs(), n=st.integers(50, 300), seed=st.integers(0, 2**20))
+    @settings(max_examples=30, deadline=None)
+    def test_writes_follow_reads(self, cfg, n, seed):
+        trace = generate_core_trace(cfg, n, seed=seed)
+        reads = set(trace.addresses[~trace.is_write].tolist())
+        writes = set(trace.addresses[trace.is_write].tolist())
+        assert writes <= reads

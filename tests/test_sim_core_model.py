@@ -1,0 +1,64 @@
+"""Tests for the trace-driven core model."""
+
+import numpy as np
+import pytest
+
+from repro.sim.core_model import Core, warmup_split
+from repro.workloads.trace import CoreTrace
+
+
+def make_trace(n=5):
+    return CoreTrace(
+        gaps=np.arange(n, dtype=float),
+        addresses=np.arange(n, dtype=np.int64) * 10,
+        is_write=np.array([i % 2 == 1 for i in range(n)]),
+        pcs=np.arange(n, dtype=np.int64) + 0x400,
+        instructions=n * 100,
+    )
+
+
+class TestCore:
+    def test_iteration(self):
+        core = Core(0, make_trace(3))
+        records = []
+        while core.has_next():
+            records.append(core.next_record())
+        assert records == [(0, False, 0x400), (10, True, 0x401), (20, False, 0x402)]
+
+    def test_peek_gap(self):
+        core = Core(0, make_trace(3))
+        assert core.peek_gap() == 0.0
+        core.next_record()
+        assert core.peek_gap() == 1.0
+
+    def test_counts(self):
+        core = Core(0, make_trace(4))
+        while core.has_next():
+            core.next_record()
+        assert core.reads_issued == 2
+        assert core.writes_issued == 2
+
+    def test_start_index_skips_warmup(self):
+        core = Core(0, make_trace(5), start_index=3)
+        assert core.remaining == 2
+        assert core.next_record()[0] == 30
+
+    def test_progress(self):
+        core = Core(0, make_trace(4))
+        assert core.progress() == 0.0
+        core.next_record()
+        assert core.progress() == 0.25
+
+
+class TestWarmupSplit:
+    def test_quarter(self):
+        assert warmup_split(make_trace(100), 0.25) == 25
+
+    def test_zero(self):
+        assert warmup_split(make_trace(100), 0.0) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            warmup_split(make_trace(10), 1.0)
+        with pytest.raises(ValueError):
+            warmup_split(make_trace(10), -0.1)

@@ -1,0 +1,108 @@
+"""Tests for the functional L3 filter front-end."""
+
+import numpy as np
+import pytest
+
+from repro.sim.l3_filter import L3_LATENCY, L3Filter
+from repro.workloads.trace import CoreTrace, Workload
+
+
+def raw_workload(addresses_per_core, gaps=5.0, writes=None):
+    cores = []
+    for core_id, addresses in enumerate(addresses_per_core):
+        n = len(addresses)
+        is_write = np.zeros(n, dtype=bool)
+        if writes:
+            for idx in writes.get(core_id, []):
+                is_write[idx] = True
+        cores.append(
+            CoreTrace(
+                gaps=np.full(n, gaps),
+                addresses=np.array(addresses, dtype=np.int64),
+                is_write=is_write,
+                pcs=np.full(n, 0x400, dtype=np.int64),
+                instructions=n * 10,
+            )
+        )
+    return Workload("raw", cores)
+
+
+@pytest.fixture
+def small_filter():
+    # 16 sets x 2 ways after scaling: tiny, to force evictions.
+    return L3Filter(capacity_bytes=16 * 64 * 2 * 256, ways=2, capacity_scale=256)
+
+
+class TestFiltering:
+    def test_repeated_line_filtered_to_one_miss(self, small_filter):
+        workload = raw_workload([[7, 7, 7, 7]])
+        filtered = small_filter.filter_workload(workload)
+        assert len(filtered.cores[0]) == 1
+        assert filtered.cores[0].addresses[0] == 7
+        assert small_filter.stats.hits == 3
+        assert small_filter.stats.demand_misses == 1
+
+    def test_absorbed_hits_become_gap_credit(self, small_filter):
+        workload = raw_workload([[7, 7, 7, 9999]], gaps=5.0)
+        filtered = small_filter.filter_workload(workload)
+        # The final miss inherits the two absorbed hits' gaps + L3 latency.
+        assert filtered.cores[0].gaps[-1] == pytest.approx(5.0 + 2 * (5.0 + L3_LATENCY))
+
+    def test_distinct_lines_all_miss(self, small_filter):
+        workload = raw_workload([[1, 2, 3, 4]])
+        filtered = small_filter.filter_workload(workload)
+        assert len(filtered.cores[0]) == 4
+        assert small_filter.stats.hit_rate == 0.0
+
+    def test_dirty_victims_emitted_as_writebacks(self, small_filter):
+        sets = small_filter.cache.num_sets
+        # Write to line 0 (dirty), then evict it with two same-set conflicts.
+        workload = raw_workload(
+            [[0, sets, 2 * sets, 3 * sets]], writes={0: [0]}
+        )
+        filtered = small_filter.filter_workload(workload)
+        assert small_filter.stats.writebacks == 1
+        assert bool(filtered.cores[0].is_write.any())
+        wb_addr = int(filtered.cores[0].addresses[filtered.cores[0].is_write][0])
+        assert wb_addr == 0
+
+    def test_upper_level_writeback_not_demanded(self, small_filter):
+        # A write miss allocates silently: no demand read downstream.
+        workload = raw_workload([[42]], writes={0: [0]})
+        filtered = small_filter.filter_workload(workload)
+        assert len(filtered.cores[0]) == 0
+        assert small_filter.stats.demand_misses == 0
+
+    def test_shared_across_cores(self, small_filter):
+        # Core 1 hits on a line core 0 brought in (shared L3).
+        workload = raw_workload([[5], [5]])
+        filtered = small_filter.filter_workload(workload)
+        total = sum(len(t) for t in filtered.cores)
+        assert total == 1
+        assert small_filter.stats.hits == 1
+
+    def test_workload_renamed(self, small_filter):
+        filtered = small_filter.filter_workload(raw_workload([[1]]))
+        assert filtered.name.endswith("+l3")
+
+    def test_instructions_preserved(self, small_filter):
+        workload = raw_workload([[1, 2, 3]])
+        filtered = small_filter.filter_workload(workload)
+        assert filtered.cores[0].instructions == workload.cores[0].instructions
+
+
+class TestEndToEnd:
+    def test_filtered_stream_simulates(self):
+        from repro.sim.config import SystemConfig
+        from repro.sim.runner import run_design
+        from repro.units import MB
+
+        rng = np.random.default_rng(3)
+        addresses = rng.integers(0, 4000, 400).tolist()
+        workload = raw_workload([addresses, [a + 100_000 for a in addresses]])
+        l3 = L3Filter(capacity_scale=4096)
+        filtered = l3.filter_workload(workload)
+        assert 0 < l3.stats.hit_rate < 1
+        config = SystemConfig(num_cores=2, cache_size_bytes=256 * MB, capacity_scale=4096)
+        result = run_design("alloy-map-i", filtered, config)
+        assert result.cycles > 0

@@ -1,0 +1,172 @@
+"""Tests for the multi-core system simulator and runner."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.runner import (
+    baseline_result,
+    compare_designs,
+    geometric_mean,
+    run_benchmark,
+    run_design,
+    speedup,
+)
+from repro.sim.system import System
+from repro.units import MB
+from repro.workloads.trace import CoreTrace, Workload
+
+
+def tiny_config(num_cores=2):
+    return SystemConfig(
+        num_cores=num_cores, cache_size_bytes=256 * MB, capacity_scale=4096
+    )
+
+
+def single_read_workload(num_cores=2, address=0):
+    cores = []
+    for core_id in range(num_cores):
+        cores.append(
+            CoreTrace(
+                gaps=np.array([10.0]),
+                addresses=np.array([address + core_id * 100_000], dtype=np.int64),
+                is_write=np.array([False]),
+                pcs=np.array([0x400], dtype=np.int64),
+                instructions=100,
+            )
+        )
+    return Workload("single", cores)
+
+
+def looping_workload(num_cores=2, n=50, span=8):
+    cores = []
+    for core_id in range(num_cores):
+        addrs = [(core_id * 100_000) + (i % span) for i in range(n)]
+        cores.append(
+            CoreTrace(
+                gaps=np.full(n, 5.0),
+                addresses=np.array(addrs, dtype=np.int64),
+                is_write=np.zeros(n, dtype=bool),
+                pcs=np.full(n, 0x400, dtype=np.int64),
+                instructions=n * 50,
+            )
+        )
+    return Workload("loop", cores)
+
+
+class TestSystemBasics:
+    def test_core_count_must_match(self):
+        with pytest.raises(ValueError):
+            System(tiny_config(num_cores=4), "no-cache", single_read_workload(2))
+
+    def test_single_read_latency_no_cache(self):
+        """gap 10 + L3 lookup 24 + memory type-Y 88 = 122."""
+        system = System(
+            tiny_config(), "no-cache", single_read_workload(), warmup_fraction=0.0
+        )
+        result = system.run()
+        assert result.cycles == pytest.approx(122.0)
+
+    def test_perfect_l3_single_read(self):
+        system = System(
+            tiny_config(), "perfect-l3", single_read_workload(), warmup_fraction=0.0
+        )
+        assert system.run().cycles == pytest.approx(34.0)  # gap 10 + L3 24
+
+    def test_result_metadata(self):
+        system = System(tiny_config(), "no-cache", single_read_workload())
+        result = system.run()
+        assert result.design == "no-cache"
+        assert result.workload == "single"
+        assert len(result.per_core_cycles) == 2
+
+    def test_warmup_shortens_timed_phase(self):
+        wl = looping_workload()
+        cold = System(tiny_config(), "alloy-nopred", wl, warmup_fraction=0.0).run()
+        warm = System(tiny_config(), "alloy-nopred", wl, warmup_fraction=0.5).run()
+        assert warm.cycles < cold.cycles
+        assert warm.read_hit_rate >= cold.read_hit_rate
+
+    def test_warm_cache_turns_loop_into_hits(self):
+        result = System(
+            tiny_config(), "alloy-nopred", looping_workload(), warmup_fraction=0.25
+        ).run()
+        assert result.read_hit_rate > 0.9
+
+    def test_deterministic(self):
+        a = System(tiny_config(), "lh-cache", looping_workload()).run()
+        b = System(tiny_config(), "lh-cache", looping_workload()).run()
+        assert a.cycles == b.cycles
+        assert a.read_hit_rate == b.read_hit_rate
+
+    def test_background_work_drains(self):
+        system = System(tiny_config(), "sram-tag", looping_workload())
+        system.run()
+        assert not system._heap
+
+    def test_memory_reads_counted_on_misses(self):
+        result = System(
+            tiny_config(), "no-cache", looping_workload(), warmup_fraction=0.0
+        ).run()
+        assert result.memory_reads > 0
+
+
+class TestRunner:
+    def test_run_design_on_workload(self):
+        result = run_design("no-cache", looping_workload(), tiny_config())
+        assert result.cycles > 0
+
+    def test_run_benchmark(self):
+        result = run_benchmark(
+            "alloy-map-i", "sphinx_r", tiny_config(num_cores=8), reads_per_core=300
+        )
+        assert result.design == "alloy-map-i"
+        assert result.instructions > 0
+
+    def test_speedup_cache_beats_baseline_on_friendly_workload(self):
+        config = SystemConfig(cache_size_bytes=256 * MB, capacity_scale=256)
+        s, result = speedup("alloy-map-i", "sphinx_r", config, reads_per_core=1500)
+        assert s > 1.1
+        assert result.read_hit_rate > 0.5
+
+    def test_baseline_cached(self):
+        config = tiny_config(num_cores=8)
+        a = baseline_result("gcc_r", config, reads_per_core=300)
+        b = baseline_result("gcc_r", config, reads_per_core=300)
+        assert a is b
+
+    def test_compare_designs(self):
+        config = tiny_config(num_cores=8)
+        out = compare_designs(
+            ("no-cache", "perfect-l3"), "gcc_r", config, reads_per_core=300
+        )
+        assert out["no-cache"][0] == pytest.approx(1.0)
+        assert out["perfect-l3"][0] > 1.0
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestSimResultDerived:
+    def test_speedup_vs(self):
+        base = run_design("no-cache", looping_workload(), tiny_config())
+        fast = run_design("perfect-l3", looping_workload(), tiny_config())
+        assert fast.speedup_vs(base) > 1.0
+
+    def test_predictor_accuracy_none_without_scenarios(self):
+        result = run_design("no-cache", looping_workload(), tiny_config())
+        assert result.predictor_accuracy() is None
+
+    def test_scenario_fractions_sum_to_one(self):
+        result = run_design("alloy-map-i", looping_workload(), tiny_config())
+        fractions = result.scenario_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)

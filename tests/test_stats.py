@@ -1,0 +1,118 @@
+"""Tests for repro.stats primitives."""
+
+import pytest
+
+from repro.stats import Accumulator, Counter, Histogram, StatGroup, ratio
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0
+
+    def test_add_default(self):
+        c = Counter("x")
+        c.add()
+        c.add()
+        assert c.value == 2
+
+    def test_add_amount(self):
+        c = Counter("x")
+        c.add(5)
+        assert c.value == 5
+
+    def test_reset(self):
+        c = Counter("x")
+        c.add(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestAccumulator:
+    def test_empty_mean_is_zero(self):
+        assert Accumulator("lat").mean == 0.0
+
+    def test_mean(self):
+        a = Accumulator("lat")
+        for v in (10, 20, 30):
+            a.sample(v)
+        assert a.mean == pytest.approx(20.0)
+        assert a.count == 3
+
+    def test_min_max(self):
+        a = Accumulator("lat")
+        for v in (5, 1, 9):
+            a.sample(v)
+        assert a.min == 1
+        assert a.max == 9
+
+    def test_reset(self):
+        a = Accumulator("lat")
+        a.sample(7)
+        a.reset()
+        assert a.count == 0
+        assert a.min is None and a.max is None
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("lat", [10, 100])
+        for v in (5, 50, 500):
+            h.sample(v)
+        assert h.counts == [1, 1, 1]
+        assert h.total == 3
+
+    def test_edge_inclusive(self):
+        h = Histogram("lat", [10])
+        h.sample(10)
+        assert h.counts[0] == 1
+
+    def test_fraction_at_or_below(self):
+        h = Histogram("lat", [10, 100])
+        for v in (1, 2, 50, 500):
+            h.sample(v)
+        assert h.fraction_at_or_below(10) == pytest.approx(0.5)
+        assert h.fraction_at_or_below(100) == pytest.approx(0.75)
+
+    def test_fraction_empty(self):
+        assert Histogram("lat", [1]).fraction_at_or_below(1) == 0.0
+
+
+class TestRatio:
+    def test_normal(self):
+        assert ratio(1, 4) == 0.25
+
+    def test_zero_denominator(self):
+        assert ratio(5, 0) == 0.0
+
+
+class TestStatGroup:
+    def test_counter_lazy_creation(self):
+        g = StatGroup("g")
+        g.counter("hits").add()
+        assert g.counter("hits").value == 1
+
+    def test_same_counter_returned(self):
+        g = StatGroup("g")
+        assert g.counter("a") is g.counter("a")
+
+    def test_accumulator(self):
+        g = StatGroup("g")
+        g.accumulator("lat").sample(4.0)
+        assert g.accumulator("lat").mean == 4.0
+
+    def test_reset_clears_all(self):
+        g = StatGroup("g")
+        g.counter("a").add(2)
+        g.accumulator("b").sample(1.0)
+        g.reset()
+        assert g.counter("a").value == 0
+        assert g.accumulator("b").count == 0
+
+    def test_as_dict(self):
+        g = StatGroup("g")
+        g.counter("hits").add(3)
+        g.accumulator("lat").sample(10.0)
+        d = g.as_dict()
+        assert d["hits"] == 3
+        assert d["lat_mean"] == 10.0
+        assert d["lat_count"] == 1

@@ -1,0 +1,71 @@
+"""Tests for repro.units: constants and size helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_line_size(self):
+        assert units.LINE_SIZE == 64
+
+    def test_row_holds_32_lines(self):
+        assert units.LINES_PER_ROW == 32
+
+    def test_tad_is_72_bytes(self):
+        assert units.TAD_SIZE == 72
+        assert units.TAD_SIZE == units.LINE_SIZE + units.TAG_ENTRY_SIZE
+
+    def test_row_holds_28_tads(self):
+        # Section 4.1: 2 KB row = 28 x 72 B TADs with 32 bytes unused.
+        assert units.TADS_PER_ROW == 28
+        assert units.ROW_BUFFER_SIZE - units.TADS_PER_ROW * units.TAD_SIZE == 32
+
+    def test_lh_geometry(self):
+        # Section 2.2: 3 tag lines + 29 data lines fill a 32-line row.
+        assert units.LH_WAYS + units.LH_TAG_LINES == units.LINES_PER_ROW
+
+    def test_size_multipliers(self):
+        assert units.MB == 1024 * units.KB
+        assert units.GB == 1024 * units.MB
+
+
+class TestHelpers:
+    def test_lines(self):
+        assert units.lines(units.MB) == 16384
+
+    def test_line_addr(self):
+        assert units.line_addr(0) == 0
+        assert units.line_addr(63) == 0
+        assert units.line_addr(64) == 1
+        assert units.line_addr(130) == 2
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (256 * units.MB, "256MB"),
+            (units.GB, "1GB"),
+            (64 * units.KB, "64KB"),
+            (100, "100B"),
+        ],
+    )
+    def test_pretty_size(self, value, expected):
+        assert units.pretty_size(value) == expected
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("256MB", 256 * units.MB),
+            ("1GB", units.GB),
+            ("64kb", 64 * units.KB),
+            (" 2gb ", 2 * units.GB),
+            ("1024", 1024),
+            ("512B", 512),
+        ],
+    )
+    def test_parse_size(self, text, expected):
+        assert units.parse_size(text) == expected
+
+    def test_parse_pretty_roundtrip(self):
+        for value in (units.KB, units.MB, 256 * units.MB, units.GB):
+            assert units.parse_size(units.pretty_size(value)) == value

@@ -1,0 +1,187 @@
+"""Tests for the synthetic access-pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.units import MB
+from repro.workloads.patterns import (
+    Component,
+    PatternConfig,
+    generate_core_trace,
+)
+
+
+def one_component_config(kind, region=1 * MB, **kwargs):
+    return PatternConfig(
+        name=f"test-{kind}",
+        mpki=20.0,
+        components=(Component(kind, 1.0, region, **kwargs),),
+        write_fraction=0.0,
+        gap_mean_cycles=50.0,
+    )
+
+
+class TestGeneration:
+    def test_read_count(self):
+        trace = generate_core_trace(one_component_config("hot"), 500, seed=1)
+        assert trace.num_reads == 500
+
+    def test_deterministic(self):
+        cfg = one_component_config("zipf")
+        a = generate_core_trace(cfg, 300, seed=9)
+        b = generate_core_trace(cfg, 300, seed=9)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.pcs, b.pcs)
+
+    def test_seed_changes_trace(self):
+        cfg = one_component_config("hot")
+        a = generate_core_trace(cfg, 300, seed=1)
+        b = generate_core_trace(cfg, 300, seed=2)
+        assert not np.array_equal(a.addresses, b.addresses)
+
+    def test_base_line_offsets_everything(self):
+        cfg = one_component_config("hot", region=1 * MB)
+        trace = generate_core_trace(cfg, 200, seed=1, base_line=10_000_000)
+        assert int(trace.addresses.min()) >= 10_000_000
+
+    def test_footprint_scaling(self):
+        cfg = one_component_config("sequential", region=64 * MB, run_length=16)
+        small = generate_core_trace(cfg, 2000, seed=1, capacity_scale=1024)
+        large = generate_core_trace(cfg, 2000, seed=1, capacity_scale=64)
+        # A smaller scaled region is covered repeatedly -> fewer uniques.
+        assert small.unique_lines() < large.unique_lines()
+
+    def test_addresses_stay_in_region(self):
+        cfg = one_component_config("pointer", region=1 * MB)
+        trace = generate_core_trace(cfg, 500, seed=3, capacity_scale=256)
+        region_lines = 1 * MB // 256 // 64
+        assert int(trace.addresses.max()) < region_lines
+
+
+class TestComponentKinds:
+    def test_sequential_is_mostly_consecutive(self):
+        cfg = one_component_config("sequential", region=16 * MB, run_length=32)
+        trace = generate_core_trace(cfg, 1000, seed=1)
+        diffs = np.diff(trace.addresses)
+        assert float(np.mean(diffs == 1)) > 0.9
+
+    def test_hot_reuses_lines(self):
+        cfg = one_component_config("hot", region=64 * 1024)  # 4 scaled lines
+        trace = generate_core_trace(cfg, 1000, seed=1)
+        assert trace.unique_lines() <= 4
+
+    def test_zipf_is_skewed(self):
+        cfg = one_component_config("zipf", region=16 * MB, zipf_alpha=1.3)
+        trace = generate_core_trace(cfg, 5000, seed=1)
+        values, counts = np.unique(trace.addresses, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        # The hottest line takes a disproportionate share.
+        assert counts[0] > 5 * counts[len(counts) // 2]
+
+    def test_pointer_rarely_reuses(self):
+        cfg = one_component_config("pointer", region=64 * MB)
+        trace = generate_core_trace(cfg, 1000, seed=1)
+        # ~4096-line region, 1000 draws: birthday collisions only.
+        assert trace.unique_lines() > 800
+
+    def test_unknown_kind_raises(self):
+        cfg = one_component_config("markov")
+        with pytest.raises(ValueError, match="unknown component kind"):
+            generate_core_trace(cfg, 10, seed=1)
+
+
+class TestMixtures:
+    def test_per_access_weights_respected(self):
+        """Long sequential runs must not inflate their access share."""
+        cfg = PatternConfig(
+            name="mix",
+            mpki=20.0,
+            components=(
+                Component("sequential", 0.5, 64 * MB, run_length=64),
+                Component("hot", 0.5, 1 * MB),
+            ),
+            write_fraction=0.0,
+            gap_mean_cycles=10.0,
+        )
+        trace = generate_core_trace(cfg, 20_000, seed=1)
+        hot_region_lines = 1 * MB // 256 // 64
+        seq_lines = 64 * MB // 256 // 64
+        hot_fraction = float(np.mean(trace.addresses >= seq_lines))
+        assert 0.35 < hot_fraction < 0.65
+
+    def test_components_laid_out_disjoint(self):
+        cfg = PatternConfig(
+            name="mix",
+            mpki=20.0,
+            components=(
+                Component("hot", 0.5, 1 * MB),
+                Component("hot", 0.5, 1 * MB),
+            ),
+            write_fraction=0.0,
+            gap_mean_cycles=10.0,
+        )
+        trace = generate_core_trace(cfg, 2000, seed=1)
+        region = 1 * MB // 256 // 64
+        # Both regions get touched.
+        assert bool((trace.addresses < region).any())
+        assert bool((trace.addresses >= region).any())
+
+
+class TestGapsAndWrites:
+    def test_gap_mean_calibrated(self):
+        cfg = one_component_config("hot")
+        trace = generate_core_trace(cfg, 20_000, seed=1)
+        read_gaps = trace.gaps[~trace.is_write]
+        assert float(read_gaps.mean()) == pytest.approx(50.0, rel=0.1)
+
+    def test_gap_fallback_from_mpki(self):
+        cfg = PatternConfig(
+            name="nogap",
+            mpki=10.0,
+            components=(Component("hot", 1.0, 1 * MB),),
+            write_fraction=0.0,
+        )
+        trace = generate_core_trace(cfg, 10_000, seed=1)
+        # 1000/10 instructions * 0.25 CPI = 25 cycles.
+        assert float(trace.gaps.mean()) == pytest.approx(25.0, rel=0.15)
+
+    def test_write_fraction(self):
+        cfg = PatternConfig(
+            name="writes",
+            mpki=20.0,
+            components=(Component("hot", 1.0, 1 * MB),),
+            write_fraction=0.25,
+            gap_mean_cycles=10.0,
+        )
+        trace = generate_core_trace(cfg, 3000, seed=1)
+        fraction = trace.num_writes / len(trace)
+        assert fraction == pytest.approx(0.25, abs=0.02)
+
+    def test_writes_have_zero_gap(self):
+        cfg = PatternConfig(
+            name="writes",
+            mpki=20.0,
+            components=(Component("hot", 1.0, 1 * MB),),
+            write_fraction=0.3,
+            gap_mean_cycles=10.0,
+        )
+        trace = generate_core_trace(cfg, 1000, seed=1)
+        assert float(trace.gaps[trace.is_write].sum()) == 0.0
+
+    def test_writebacks_revisit_read_addresses(self):
+        cfg = PatternConfig(
+            name="writes",
+            mpki=20.0,
+            components=(Component("hot", 1.0, 4 * MB),),
+            write_fraction=0.3,
+            gap_mean_cycles=10.0,
+        )
+        trace = generate_core_trace(cfg, 1000, seed=1)
+        reads = set(trace.addresses[~trace.is_write].tolist())
+        writes = set(trace.addresses[trace.is_write].tolist())
+        assert writes <= reads
+
+    def test_instruction_count_from_mpki(self):
+        cfg = one_component_config("hot")
+        trace = generate_core_trace(cfg, 1000, seed=1)
+        assert trace.instructions == int(1000 * 1000 / 20.0)

@@ -1,0 +1,86 @@
+"""Tests for trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import CoreTrace, Workload
+
+
+def make_trace(n=10, writes=0, instructions=1000):
+    is_write = np.zeros(n, dtype=bool)
+    is_write[:writes] = True
+    return CoreTrace(
+        gaps=np.full(n, 2.0),
+        addresses=np.arange(n, dtype=np.int64),
+        is_write=is_write,
+        pcs=np.full(n, 0x400, dtype=np.int64),
+        instructions=instructions,
+    )
+
+
+class TestCoreTrace:
+    def test_length(self):
+        assert len(make_trace(7)) == 7
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            CoreTrace(
+                gaps=np.zeros(3),
+                addresses=np.zeros(4, dtype=np.int64),
+                is_write=np.zeros(4, dtype=bool),
+                pcs=np.zeros(4, dtype=np.int64),
+                instructions=10,
+            )
+
+    def test_read_write_counts(self):
+        t = make_trace(10, writes=3)
+        assert t.num_writes == 3
+        assert t.num_reads == 7
+
+    def test_mpki_counts_reads_only(self):
+        t = make_trace(10, writes=2, instructions=1000)
+        assert t.mpki == pytest.approx(8.0)
+
+    def test_mpki_zero_instructions(self):
+        t = make_trace(instructions=0)
+        assert t.mpki == 0.0
+
+    def test_unique_lines(self):
+        t = CoreTrace(
+            gaps=np.zeros(4),
+            addresses=np.array([1, 1, 2, 3], dtype=np.int64),
+            is_write=np.zeros(4, dtype=bool),
+            pcs=np.zeros(4, dtype=np.int64),
+            instructions=1,
+        )
+        assert t.unique_lines() == 3
+
+    def test_records_iteration(self):
+        t = make_trace(3)
+        records = list(t.records())
+        assert len(records) == 3
+        gap, addr, is_write, pc = records[1]
+        assert (gap, addr, is_write, pc) == (2.0, 1, False, 0x400)
+
+    def test_offset_addresses(self):
+        t = make_trace(3)
+        shifted = t.offset_addresses(100)
+        assert list(shifted.addresses) == [100, 101, 102]
+        assert list(t.addresses) == [0, 1, 2]  # original untouched
+
+
+class TestWorkload:
+    def test_aggregates(self):
+        w = Workload("test", [make_trace(10), make_trace(5)])
+        assert w.num_cores == 2
+        assert w.total_requests == 15
+        assert w.total_instructions == 2000
+
+    def test_mpki(self):
+        w = Workload("test", [make_trace(10, writes=2)])
+        assert w.mpki == pytest.approx(8.0)
+
+    def test_footprint(self):
+        w = Workload("test", [make_trace(4), make_trace(4).offset_addresses(1000)])
+        assert w.footprint_lines() == 8
+        assert w.footprint_bytes() == 8 * 64

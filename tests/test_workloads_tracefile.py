@@ -1,0 +1,111 @@
+"""Tests for trace file I/O (npz round-trip and CSV interchange)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.tracefile import (
+    export_csv,
+    import_csv,
+    load_workload,
+    save_workload,
+)
+from repro.workloads.trace import CoreTrace, Workload
+
+
+@pytest.fixture
+def workload():
+    cores = []
+    for core_id in range(3):
+        n = 10 + core_id
+        cores.append(
+            CoreTrace(
+                gaps=np.linspace(0, 5, n),
+                addresses=np.arange(n, dtype=np.int64) + core_id * 1000,
+                is_write=np.array([i % 3 == 0 for i in range(n)]),
+                pcs=np.arange(n, dtype=np.int64) * 4 + 0x400000,
+                instructions=n * 100,
+            )
+        )
+    return Workload("roundtrip", cores)
+
+
+class TestNpzRoundTrip:
+    def test_identity(self, workload, tmp_path):
+        path = tmp_path / "w.npz"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert loaded.name == workload.name
+        assert loaded.num_cores == workload.num_cores
+        for a, b in zip(loaded.cores, workload.cores):
+            assert np.array_equal(a.gaps, b.gaps)
+            assert np.array_equal(a.addresses, b.addresses)
+            assert np.array_equal(a.is_write, b.is_write)
+            assert np.array_equal(a.pcs, b.pcs)
+            assert a.instructions == b.instructions
+
+    def test_aggregate_stats_preserved(self, workload, tmp_path):
+        path = tmp_path / "w.npz"
+        save_workload(workload, path)
+        loaded = load_workload(path)
+        assert loaded.mpki == workload.mpki
+        assert loaded.footprint_lines() == workload.footprint_lines()
+
+
+class TestCsvInterchange:
+    def test_roundtrip(self, workload, tmp_path):
+        path = tmp_path / "w.csv"
+        export_csv(workload, path)
+        loaded = import_csv(path, name="roundtrip")
+        assert loaded.num_cores == workload.num_cores
+        for a, b in zip(loaded.cores, workload.cores):
+            assert np.array_equal(a.addresses, b.addresses)
+            assert np.array_equal(a.is_write, b.is_write)
+            assert np.allclose(a.gaps, b.gaps)
+
+    def test_header_written(self, workload, tmp_path):
+        path = tmp_path / "w.csv"
+        export_csv(workload, path)
+        first = path.read_text().splitlines()[0]
+        assert first == "core,gap,address,write,pc"
+
+    def test_hand_written_csv(self, tmp_path):
+        path = tmp_path / "hand.csv"
+        path.write_text(
+            "core,gap,address,write,pc\n"
+            "0,5.0,100,0,1024\n"
+            "0,0.0,101,1,0\n"
+            "1,2.5,200,0,2048\n"
+        )
+        workload = import_csv(path, instructions_per_core=500)
+        assert workload.num_cores == 2
+        assert workload.cores[0].num_writes == 1
+        assert workload.cores[0].instructions == 500
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("core,address\n0,1\n")
+        with pytest.raises(ValueError, match="columns"):
+            import_csv(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("core,gap,address,write,pc\n")
+        with pytest.raises(ValueError, match="no requests"):
+            import_csv(path)
+
+    def test_imported_workload_simulates(self, tmp_path):
+        from repro.sim.config import SystemConfig
+        from repro.sim.runner import run_design
+        from repro.units import MB
+
+        path = tmp_path / "sim.csv"
+        rows = ["core,gap,address,write,pc"]
+        for core in range(2):
+            for i in range(30):
+                rows.append(f"{core},10.0,{core * 100000 + i % 5},0,{0x400 + i % 3 * 4}")
+        path.write_text("\n".join(rows) + "\n")
+        workload = import_csv(path)
+        config = SystemConfig(num_cores=2, cache_size_bytes=256 * MB, capacity_scale=4096)
+        result = run_design("alloy-map-i", workload, config)
+        assert result.cycles > 0
+        assert result.read_hit_rate > 0.5  # 5-line loop fits trivially
