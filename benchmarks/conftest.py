@@ -9,6 +9,13 @@ the regeneration; the rendered table is attached to the benchmark's
 
 reproduces every artifact. Set ``REPRO_FULL=1`` for full-length traces
 (the numbers recorded in EXPERIMENTS.md); the default is quick mode.
+
+Each experiment's inner (design x benchmark) grid runs through the sweep
+executor in ``repro.sim.parallel``; set ``REPRO_JOBS=N`` to fan simulation
+cells out over N worker processes while benchmarking. The persistent result
+cache is pointed at a throwaway directory per session (unless
+``REPRO_CACHE_DIR`` is pinned) so the timer measures simulation, not cache
+reads from an earlier run.
 """
 
 import os
@@ -19,6 +26,19 @@ from repro.experiments.registry import run_experiment
 
 #: Full-length traces when REPRO_FULL=1; quick traces otherwise.
 QUICK = os.environ.get("REPRO_FULL", "0") != "1"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    if "REPRO_CACHE_DIR" in os.environ:
+        yield
+        return
+    cache_dir = tmp_path_factory.mktemp("repro_cache")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)
 
 
 def regenerate(benchmark, experiment_id):

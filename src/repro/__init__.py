@@ -27,6 +27,13 @@ from repro.sim.runner import (
     run_design,
     speedup,
 )
+from repro.sim.parallel import (
+    ResultCache,
+    SweepCell,
+    SweepReport,
+    make_cells,
+    run_sweep,
+)
 from repro.dramcache.factory import DESIGN_NAMES, make_design
 from repro.core.alloy import AlloyCache
 from repro.core.tad import AlloyGeometry
@@ -48,6 +55,11 @@ __all__ = [
     "speedup",
     "compare_designs",
     "geometric_mean",
+    "run_sweep",
+    "make_cells",
+    "SweepCell",
+    "SweepReport",
+    "ResultCache",
     "make_design",
     "DESIGN_NAMES",
     "AlloyCache",

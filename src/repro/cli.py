@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate paper tables and figures.
+"""Command-line interface: regenerate paper tables and figures, run sweeps.
 
 Usage::
 
@@ -6,35 +6,30 @@ Usage::
     repro fig4                   # regenerate Figure 4 (full traces)
     repro table1 fig10 --quick   # quick mode (short traces)
     repro all --quick            # everything
+    repro sweep --designs alloy,no-cache --benchmarks mcf,gcc -j 4
+
+The ``sweep`` verb runs an ad-hoc (design x benchmark) grid through the
+parallel executor in :mod:`repro.sim.parallel`, printing per-cell telemetry
+(wall seconds, heap events, events/sec, cache hit/miss) and speedups over
+the ``no-cache`` baseline. Completed cells persist under ``.repro_cache/``
+(override with ``REPRO_CACHE_DIR``/``--cache-dir``; disable with
+``--no-cache``), so repeating a sweep — or resuming after a crash —
+simulates only the missing cells.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS, run_experiments
 
-
-def _run_one(args: Tuple[str, bool]):
-    """Worker entry point: run one experiment, return (id, result, seconds)."""
-    experiment_id, quick = args
-    started = time.time()
-    result = run_experiment(experiment_id, quick=quick)
-    return experiment_id, result, time.time() - started
-
-
-def _run_all(requested, quick: bool, jobs: int):
-    """Run experiments serially or over a process pool, preserving order."""
-    work = [(experiment_id, quick) for experiment_id in requested]
-    if jobs <= 1 or len(work) == 1:
-        return [_run_one(item) for item in work]
-    import multiprocessing
-
-    with multiprocessing.Pool(min(jobs, len(work))) as pool:
-        return pool.map(_run_one, work)
+#: Friendly aliases accepted by ``repro sweep --designs``.
+_DESIGN_ALIASES = {
+    "alloy": "alloy-map-i",
+    "missmap": "alloy-missmap",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,7 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (e.g. fig4 table1), or 'all'",
+        help="experiment ids (e.g. fig4 table1), 'all', or the 'sweep' verb",
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"
@@ -78,12 +73,156 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description=(
+            "Run a (design x benchmark) sweep through the parallel "
+            "executor with the persistent result cache"
+        ),
+    )
+    parser.add_argument(
+        "--designs",
+        default="alloy-map-i,sram-tag,lh-cache,ideal-lo",
+        help="comma-separated design names ('alloy' = alloy-map-i)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default="mcf_r,lbm_r,soplex_r,milc_r",
+        help="comma-separated benchmark names (the _r suffix is optional)",
+    )
+    parser.add_argument(
+        "--reads",
+        type=int,
+        default=6000,
+        metavar="N",
+        help="trace reads per core (default 6000)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help="functional-warmup fraction of each trace (default 0.25)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="workload generation seed"
+    )
+    parser.add_argument(
+        "-j",
+        "--max-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate up to N cells in parallel worker processes",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result cache directory (default .repro_cache or REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the persistent result cache",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="no-cache",
+        help="design speedups are normalized against (default no-cache)",
+    )
+    return parser
+
+
+def _sweep_main(argv: List[str]) -> int:
+    from pathlib import Path
+
+    from repro.dramcache.factory import DESIGN_NAMES
+    from repro.sim.parallel import ResultCache, make_cells, run_sweep
+    from repro.sim.runner import geometric_mean
+    from repro.workloads.spec import get_benchmark
+
+    args = build_sweep_parser().parse_args(argv)
+    if args.max_workers < 1:
+        print(
+            f"--max-workers must be >= 1, got {args.max_workers}",
+            file=sys.stderr,
+        )
+        return 2
+
+    designs = [
+        _DESIGN_ALIASES.get(name.strip().lower(), name.strip().lower())
+        for name in args.designs.split(",")
+        if name.strip()
+    ]
+    unknown = [d for d in designs if d not in DESIGN_NAMES]
+    if unknown:
+        print(f"unknown designs: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(DESIGN_NAMES)}", file=sys.stderr)
+        return 2
+    try:
+        benchmarks = [
+            get_benchmark(name.strip()).name
+            for name in args.benchmarks.split(",")
+            if name.strip()
+        ]
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    baseline = _DESIGN_ALIASES.get(args.baseline, args.baseline)
+    grid = designs if baseline in designs else [baseline, *designs]
+    cells = make_cells(
+        grid,
+        benchmarks,
+        reads_per_core=args.reads,
+        warmup_fraction=args.warmup,
+        seed=args.seed,
+    )
+    cache = ResultCache(
+        Path(args.cache_dir) if args.cache_dir else None,
+        persist=False if args.no_cache else None,
+    )
+    report = run_sweep(
+        cells,
+        max_workers=args.max_workers,
+        cache=cache,
+        use_cache=not args.no_cache,
+    )
+
+    print(report.render())
+    print()
+    speedups = report.speedups(baseline)
+    print(f"speedup vs {baseline}:")
+    header = f"{'benchmark':<12}" + "".join(f"{d:>16}" for d in designs)
+    print(header)
+    for benchmark in benchmarks:
+        row = f"{benchmark:<12}" + "".join(
+            f"{speedups[(d, benchmark)]:>16.3f}" for d in designs
+        )
+        print(row)
+    gmeans = []
+    for design in designs:
+        values = [speedups[(design, b)] for b in benchmarks]
+        try:
+            gmeans.append(f"{geometric_mean(values):>16.3f}")
+        except ValueError:
+            gmeans.append(f"{'n/a':>16}")
+    print(f"{'gmean':<12}" + "".join(gmeans))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
+
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
         print("available experiments:")
         for experiment_id in EXPERIMENTS:
             print(f"  {experiment_id}")
+        print("\nother verbs:\n  sweep (see 'repro sweep --help')")
         return 0
 
     requested = list(args.experiments)
@@ -96,7 +235,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
-    prepared = _run_all(requested, args.quick, args.jobs)
+    prepared = run_experiments(requested, quick=args.quick, jobs=args.jobs)
     for experiment_id, result, elapsed in prepared:
         print(result.render())
         if args.bars:

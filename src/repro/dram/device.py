@@ -249,7 +249,13 @@ class DramDevice:
         return busy / (elapsed_cycles * self.timings.channels)
 
     def reset(self) -> None:
-        """Clear all timeline and row-buffer state (between warmup and runs)."""
+        """Clear all timeline and row-buffer state.
+
+        Warmup never touches the device (it is purely functional, replaying
+        records through the designs' ``warm`` hooks without advancing time),
+        so this is only needed when reusing one device across independent
+        simulations, e.g. in unit tests.
+        """
         self._banks = [PriorityTimeline() for _ in self._banks]
         self._open_row = [None] * len(self._open_row)
         self._buses = [PriorityTimeline() for _ in self._buses]

@@ -3,6 +3,12 @@
 ``quick`` mode shortens traces so a full experiment run (or the benchmark
 suite) stays fast; full mode uses the calibration-length traces behind the
 numbers recorded in EXPERIMENTS.md.
+
+Every experiment's (design x benchmark) grid goes through the parallel
+sweep executor in :mod:`repro.sim.parallel`: set ``REPRO_JOBS=N`` (or pass
+``max_workers``) to fan cells out over N worker processes, and completed
+cells persist in the on-disk result cache so re-running a figure resumes
+instead of resimulating.
 """
 
 from __future__ import annotations
@@ -10,8 +16,9 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.config import SystemConfig
+from repro.sim.parallel import default_workers, make_cells, run_sweep
 from repro.sim.results import SimResult
-from repro.sim.runner import geometric_mean, speedup
+from repro.sim.runner import geometric_mean
 from repro.workloads.spec import PRIMARY_BENCHMARKS, SECONDARY_BENCHMARKS
 
 #: Reads per core in full / quick experiment modes.
@@ -36,16 +43,37 @@ def sweep(
     benchmarks: Iterable[str],
     quick: bool = False,
     config: Optional[SystemConfig] = None,
+    max_workers: Optional[int] = None,
+    warmup_fraction: float = 0.25,
 ) -> Dict[Tuple[str, str], Tuple[float, SimResult]]:
-    """Run every (design, benchmark) pair; returns speedups + raw results."""
+    """Run every (design, benchmark) pair; returns speedups + raw results.
+
+    Cells fan out over ``max_workers`` processes (default: ``REPRO_JOBS``
+    env var, or 1). The ``no-cache`` baseline each speedup normalizes
+    against joins the grid so it is simulated (or cache-served) exactly
+    once per benchmark.
+    """
     config = config or SystemConfig()
     reads = reads_for(quick)
+    designs = list(designs)
+    benchmarks = list(benchmarks)
+    grid = designs if "no-cache" in designs else ["no-cache", *designs]
+    report = run_sweep(
+        make_cells(
+            grid,
+            benchmarks,
+            config=config,
+            reads_per_core=reads,
+            warmup_fraction=warmup_fraction,
+        ),
+        max_workers=max_workers or default_workers(),
+    )
     out: Dict[Tuple[str, str], Tuple[float, SimResult]] = {}
     for benchmark in benchmarks:
+        base = report.result("no-cache", benchmark)
         for design in designs:
-            out[(design, benchmark)] = speedup(
-                design, benchmark, config, reads_per_core=reads
-            )
+            result = report.result(design, benchmark)
+            out[(design, benchmark)] = (result.speedup_vs(base), result)
     return out
 
 

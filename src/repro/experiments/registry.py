@@ -1,8 +1,12 @@
-"""Experiment registry: paper artifact id -> runner."""
+"""Experiment registry: paper artifact id -> runner, plus the batch executor
+used by the CLI (whole experiments fan out over worker processes; each
+experiment's inner (design x benchmark) grid additionally goes through
+:func:`repro.sim.parallel.run_sweep`)."""
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import time
+from typing import Callable, Dict, Iterable, List, Tuple
 
 from repro.experiments import (
     ablations,
@@ -71,3 +75,31 @@ def get_experiment(experiment_id: str) -> Runner:
 def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
     """Run one experiment by paper artifact id."""
     return get_experiment(experiment_id)(quick)
+
+
+def _run_one(args: Tuple[str, bool]) -> Tuple[str, ExperimentResult, float]:
+    """Worker entry point: run one experiment, return (id, result, seconds)."""
+    experiment_id, quick = args
+    started = time.time()
+    result = run_experiment(experiment_id, quick=quick)
+    return experiment_id, result, time.time() - started
+
+
+def run_experiments(
+    experiment_ids: Iterable[str],
+    quick: bool = False,
+    jobs: int = 1,
+) -> List[Tuple[str, ExperimentResult, float]]:
+    """Run several experiments, serially or over a process pool.
+
+    Returns ``(id, result, seconds)`` triples in the requested order.
+    Experiment-level parallelism composes with the per-sweep executor:
+    each worker's inner sweeps still consult the shared on-disk cache.
+    """
+    work = [(experiment_id, quick) for experiment_id in experiment_ids]
+    if jobs <= 1 or len(work) == 1:
+        return [_run_one(item) for item in work]
+    import multiprocessing
+
+    with multiprocessing.Pool(min(jobs, len(work))) as pool:
+        return pool.map(_run_one, work)

@@ -1,0 +1,542 @@
+"""Parallel sweep executor with a persistent, content-keyed result cache.
+
+Every paper artifact is a sweep over (design x benchmark x config) cells.
+This module turns that grid into an explicit work list and provides:
+
+* :class:`SweepCell` — one fully-specified simulation: design name,
+  benchmark, frozen :class:`~repro.sim.config.SystemConfig`, trace length,
+  warmup fraction and seed.
+* :class:`ResultCache` — a two-tier cache. The in-memory tier replaces the
+  old module-global baseline dict in :mod:`repro.sim.runner`; the on-disk
+  tier persists every completed cell as JSON under ``.repro_cache/`` so a
+  crashed or repeated sweep resumes from completed cells. Keys are a SHA-256
+  over the *content* of the cell — design, benchmark, seed, reads_per_core,
+  warmup_fraction and every field of the frozen ``SystemConfig`` (timings
+  included) — plus a schema version and the package version, so changing any
+  knob or upgrading the model invalidates the entry.
+* :func:`run_sweep` — fan cells out over a :class:`ProcessPoolExecutor`
+  (``max_workers=1`` runs in-process through the *same* cell function, so
+  serial and parallel paths are bit-identical). Workers write the cache as
+  they finish, enabling crash resume.
+* :class:`SweepReport` — per-cell telemetry (wall seconds, heap events,
+  events/sec, cache hit/miss) plus grid accessors and speedup helpers.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache directory (default ``.repro_cache`` in the
+  current working directory).
+* ``REPRO_CACHE=0`` — disable the on-disk tier (memory tier stays on).
+* ``REPRO_JOBS`` — default worker count for the experiment-layer sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimResult
+
+#: Bump when the cache file layout (not the simulated content) changes.
+CACHE_SCHEMA = 1
+
+#: Default on-disk cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+
+def default_cache_dir() -> Path:
+    """Cache directory honouring the ``REPRO_CACHE_DIR`` override."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk tier is enabled (``REPRO_CACHE=0`` disables)."""
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def default_workers() -> int:
+    """Worker count for experiment sweeps (``REPRO_JOBS``, default 1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+# ----------------------------------------------------------------------
+# Sweep cells
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepCell:
+    """One fully-specified simulation in a sweep grid."""
+
+    design: str
+    benchmark: str
+    config: SystemConfig = field(default_factory=SystemConfig)
+    reads_per_core: int = 12000
+    warmup_fraction: float = 0.25
+    seed: int = 1
+
+    def key(self) -> str:
+        """Content hash identifying this cell in the persistent cache."""
+        return cell_key(
+            self.design,
+            self.benchmark,
+            self.config,
+            self.reads_per_core,
+            self.warmup_fraction,
+            self.seed,
+        )
+
+
+def make_cells(
+    designs: Iterable[str],
+    benchmarks: Iterable[str],
+    config: Optional[SystemConfig] = None,
+    reads_per_core: int = 12000,
+    warmup_fraction: float = 0.25,
+    seed: int = 1,
+) -> List[SweepCell]:
+    """The full (design x benchmark) grid as a list of cells."""
+    config = config or SystemConfig()
+    return [
+        SweepCell(
+            design=design,
+            benchmark=benchmark,
+            config=config,
+            reads_per_core=reads_per_core,
+            warmup_fraction=warmup_fraction,
+            seed=seed,
+        )
+        for benchmark in benchmarks
+        for design in designs
+    ]
+
+
+def _config_dict(config: SystemConfig) -> Dict:
+    """The frozen config flattened to JSON-safe primitives (recursively)."""
+    return asdict(config)
+
+
+def cell_key(
+    design: str,
+    benchmark: str,
+    config: SystemConfig,
+    reads_per_core: int,
+    warmup_fraction: float,
+    seed: int,
+) -> str:
+    """SHA-256 content key over everything that determines a ``SimResult``.
+
+    Includes every ``SystemConfig`` field (a partial key once caused stale
+    baselines when sweeping ``mshrs_per_core``), ``warmup_fraction`` (the old
+    in-memory baseline cache omitted it — see ISSUE 1), and the package
+    version so model changes invalidate old entries.
+    """
+    from repro import __version__
+
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "version": __version__,
+        "design": design.lower(),
+        "benchmark": benchmark,
+        "seed": seed,
+        "reads_per_core": reads_per_core,
+        "warmup_fraction": warmup_fraction,
+        "config": _config_dict(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Persistent result cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Two-tier (memory + JSON-on-disk) cache of completed simulation cells.
+
+    Disk writes are atomic (write to a unique temp file, then ``os.replace``)
+    so concurrent workers never expose torn files. Each entry stores the
+    serialized :class:`SimResult` plus the telemetry of the run that produced
+    it, so cache hits still report heap events.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Path] = None,
+        persist: Optional[bool] = None,
+    ) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.persist = cache_enabled() if persist is None else persist
+        self._memory: Dict[str, Tuple[SimResult, Dict]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- paths ----------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, key: str) -> Optional[SimResult]:
+        """Cached result for ``key`` (memory first, then disk), else None."""
+        entry = self.get_entry(key)
+        return entry[0] if entry else None
+
+    def get_entry(self, key: str) -> Optional[Tuple[SimResult, Dict]]:
+        """(result, telemetry-of-original-run) for ``key``, else None."""
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        if self.persist:
+            path = self._path(key)
+            if path.exists():
+                try:
+                    data = json.loads(path.read_text())
+                    result = SimResult.from_dict(data["result"])
+                except (ValueError, KeyError, TypeError):
+                    # Torn/stale file: treat as a miss and recompute.
+                    self.misses += 1
+                    return None
+                telemetry = data.get("telemetry", {})
+                self._memory[key] = (result, telemetry)
+                self.hits += 1
+                return result, telemetry
+        self.misses += 1
+        return None
+
+    # -- store ----------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        result: SimResult,
+        telemetry: Optional[Dict] = None,
+        describe: Optional[Dict] = None,
+    ) -> None:
+        """Store a completed cell in both tiers."""
+        telemetry = telemetry or {}
+        self._memory[key] = (result, telemetry)
+        if self.persist:
+            _write_cache_file(
+                self._path(key), result, telemetry, describe or {}
+            )
+
+    def clear(self, disk: bool = True) -> None:
+        """Drop the memory tier and (optionally) every on-disk entry."""
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+        if disk and self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __bool__(self) -> bool:
+        # An empty cache must still be truthy: ``cache or default`` would
+        # otherwise silently swap a caller's fresh cache for the shared one.
+        return True
+
+
+def _write_cache_file(
+    path: Path, result: SimResult, telemetry: Dict, describe: Dict
+) -> None:
+    """Atomically persist one completed cell (concurrent-worker safe)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "cell": describe,
+        "telemetry": telemetry,
+        "result": result.to_dict(),
+    }
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+    os.replace(tmp, path)
+
+
+_shared_caches: Dict[Tuple[str, bool], ResultCache] = {}
+
+
+def get_result_cache() -> ResultCache:
+    """The process-wide shared cache for the current env configuration.
+
+    One instance per (directory, persist) pair so tests that repoint
+    ``REPRO_CACHE_DIR`` get a fresh memory tier automatically.
+    """
+    key = (str(default_cache_dir()), cache_enabled())
+    if key not in _shared_caches:
+        _shared_caches[key] = ResultCache()
+    return _shared_caches[key]
+
+
+# ----------------------------------------------------------------------
+# Cell execution (shared by the serial path and pool workers)
+# ----------------------------------------------------------------------
+def _execute_cell(cell: SweepCell) -> Tuple[SimResult, Dict]:
+    """Run one cell and return (result, telemetry). Pure w.r.t. the cell:
+    identical cells produce identical results in any process."""
+    from repro.sim.runner import run_benchmark
+
+    started = time.perf_counter()
+    result = run_benchmark(
+        cell.design,
+        cell.benchmark,
+        cell.config,
+        reads_per_core=cell.reads_per_core,
+        warmup_fraction=cell.warmup_fraction,
+        seed=cell.seed,
+    )
+    wall = time.perf_counter() - started
+    telemetry = {
+        "wall_seconds": wall,
+        "heap_events": result.heap_events,
+        "events_per_sec": result.heap_events / wall if wall > 0 else 0.0,
+    }
+    return result, telemetry
+
+
+def _cell_describe(cell: SweepCell) -> Dict:
+    """Human-readable echo of the cell stored alongside cached results."""
+    return {
+        "design": cell.design,
+        "benchmark": cell.benchmark,
+        "seed": cell.seed,
+        "reads_per_core": cell.reads_per_core,
+        "warmup_fraction": cell.warmup_fraction,
+        "config": _config_dict(cell.config),
+    }
+
+
+def _worker(
+    cell: SweepCell, cache_dir: Optional[str], persist: bool
+) -> Tuple[SimResult, Dict]:
+    """Pool entry point: run the cell and persist it before returning, so a
+    crashed parent still finds the completed cell on the next run."""
+    result, telemetry = _execute_cell(cell)
+    if persist:
+        cache = ResultCache(Path(cache_dir) if cache_dir else None, persist=True)
+        cache.put(cell.key(), result, telemetry, _cell_describe(cell))
+    return result, telemetry
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+@dataclass
+class CellResult:
+    """One executed (or cache-served) sweep cell plus its telemetry."""
+
+    cell: SweepCell
+    result: SimResult
+    #: Wall-clock seconds of the simulation that produced ``result`` (the
+    #: original run's time when served from cache).
+    wall_seconds: float
+    heap_events: int
+    events_per_sec: float
+    from_cache: bool
+
+
+@dataclass
+class SweepReport:
+    """Everything :func:`run_sweep` learned about a grid of cells."""
+
+    cells: List[CellResult]
+    max_workers: int
+    #: End-to-end wall-clock of the whole sweep (not the per-cell sum).
+    elapsed_seconds: float
+
+    # -- aggregate telemetry -------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for c in self.cells if c.from_cache)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for c in self.cells if not c.from_cache)
+
+    @property
+    def total_heap_events(self) -> int:
+        return sum(c.heap_events for c in self.cells)
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Sum of per-cell simulation time (exceeds ``elapsed_seconds``
+        when cells ran in parallel; counts only cells actually run)."""
+        return sum(c.wall_seconds for c in self.cells if not c.from_cache)
+
+    @property
+    def events_per_sec(self) -> float:
+        simulated = self.simulated_seconds
+        events = sum(c.heap_events for c in self.cells if not c.from_cache)
+        return events / simulated if simulated > 0 else 0.0
+
+    # -- grid accessors -------------------------------------------------
+    def result(self, design: str, benchmark: str) -> SimResult:
+        """The :class:`SimResult` for one grid cell (raises KeyError)."""
+        for c in self.cells:
+            if c.cell.design == design and c.cell.benchmark == benchmark:
+                return c.result
+        raise KeyError(f"no cell for ({design!r}, {benchmark!r})")
+
+    def results(self) -> Dict[Tuple[str, str], SimResult]:
+        """(design, benchmark) -> result for the whole grid."""
+        return {
+            (c.cell.design, c.cell.benchmark): c.result for c in self.cells
+        }
+
+    def speedups(
+        self, baseline_design: str = "no-cache"
+    ) -> Dict[Tuple[str, str], float]:
+        """Per-cell speedup vs ``baseline_design`` on the same benchmark.
+
+        Only defined when the baseline design is part of the sweep grid.
+        """
+        bases = {
+            c.cell.benchmark: c.result
+            for c in self.cells
+            if c.cell.design == baseline_design
+        }
+        out: Dict[Tuple[str, str], float] = {}
+        for c in self.cells:
+            base = bases.get(c.cell.benchmark)
+            if base is not None:
+                out[(c.cell.design, c.cell.benchmark)] = c.result.speedup_vs(
+                    base
+                )
+        return out
+
+    # -- rendering ------------------------------------------------------
+    def render(self) -> str:
+        """Telemetry table + summary line (the ``repro sweep`` output)."""
+        lines = [
+            f"{'design':<16} {'benchmark':<12} {'cycles':>12} "
+            f"{'hit_rate':>8} {'events':>9} {'ev/s':>10} "
+            f"{'wall_s':>8} {'cache':>6}"
+        ]
+        for c in self.cells:
+            lines.append(
+                f"{c.cell.design:<16} {c.cell.benchmark:<12} "
+                f"{c.result.cycles:>12.1f} "
+                f"{c.result.read_hit_rate:>8.3f} "
+                f"{c.heap_events:>9d} {c.events_per_sec:>10.0f} "
+                f"{c.wall_seconds:>8.3f} "
+                f"{'hit' if c.from_cache else 'miss':>6}"
+            )
+        lines.append(
+            f"-- {len(self.cells)} cells | workers={self.max_workers} | "
+            f"cache {self.cache_hits} hit / {self.cache_misses} miss | "
+            f"{self.total_heap_events} events | "
+            f"{self.events_per_sec:,.0f} events/sec simulated | "
+            f"{self.elapsed_seconds:.2f}s elapsed"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+def run_sweep(
+    cells: Sequence[SweepCell],
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+) -> SweepReport:
+    """Execute every cell, fanning out across ``max_workers`` processes.
+
+    Cached cells are served without simulation; missing cells are executed
+    (in-process when ``max_workers=1``, else on a process pool) through the
+    same :func:`_execute_cell` function, so the serial and parallel paths
+    produce bit-identical :class:`SimResult`\\ s. Workers persist each cell
+    as it completes, so an interrupted sweep resumes from completed cells.
+
+    Duplicate cells (same content key) are simulated once and fanned back
+    to every occurrence.
+    """
+    cells = list(cells)
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    if cache is None:
+        cache = get_result_cache()
+    started = time.perf_counter()
+
+    slots: List[Optional[CellResult]] = [None] * len(cells)
+    pending: Dict[str, List[int]] = {}
+    for index, cell in enumerate(cells):
+        key = cell.key()
+        entry = cache.get_entry(key) if use_cache else None
+        if entry is not None:
+            result, telemetry = entry
+            slots[index] = CellResult(
+                cell=cell,
+                result=result,
+                wall_seconds=float(telemetry.get("wall_seconds", 0.0)),
+                heap_events=int(
+                    telemetry.get("heap_events", result.heap_events)
+                ),
+                events_per_sec=float(telemetry.get("events_per_sec", 0.0)),
+                from_cache=True,
+            )
+        else:
+            pending.setdefault(key, []).append(index)
+
+    def _finish(key: str, result: SimResult, telemetry: Dict) -> None:
+        first = True
+        for index in pending[key]:
+            slots[index] = CellResult(
+                cell=cells[index],
+                result=result,
+                wall_seconds=float(telemetry.get("wall_seconds", 0.0)),
+                heap_events=int(telemetry.get("heap_events", 0)),
+                events_per_sec=float(telemetry.get("events_per_sec", 0.0)),
+                from_cache=not first,
+            )
+            first = False
+
+    if pending and max_workers == 1:
+        for key, indices in pending.items():
+            cell = cells[indices[0]]
+            result, telemetry = _execute_cell(cell)
+            if use_cache:
+                cache.put(key, result, telemetry, _cell_describe(cell))
+            _finish(key, result, telemetry)
+    elif pending:
+        persist = use_cache and cache.persist
+        with ProcessPoolExecutor(
+            max_workers=min(max_workers, len(pending))
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _worker,
+                    cells[indices[0]],
+                    str(cache.directory),
+                    persist,
+                ): key
+                for key, indices in pending.items()
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    key = futures[future]
+                    result, telemetry = future.result()
+                    if use_cache:
+                        # Mirror the worker's disk write into this process's
+                        # memory tier (no re-read from disk needed).
+                        cache._memory[key] = (result, telemetry)
+                    _finish(key, result, telemetry)
+
+    return SweepReport(
+        cells=[slot for slot in slots if slot is not None],
+        max_workers=max_workers,
+        elapsed_seconds=time.perf_counter() - started,
+    )

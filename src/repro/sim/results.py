@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional
 
 
 @dataclass
@@ -40,12 +40,20 @@ class SimResult:
     hit_latency_p50: float = 0.0
     hit_latency_p95: float = 0.0
     read_latency_p95: float = 0.0
+    #: Discrete-event heap entries processed while producing this result
+    #: (sweep telemetry; 0 for results predating the counter).
+    heap_events: int = 0
 
     # ------------------------------------------------------------------
     def speedup_vs(self, baseline: "SimResult") -> float:
-        """Execution-time speedup relative to ``baseline`` (>1 is faster)."""
-        if self.cycles <= 0:
-            raise ValueError("result has no cycles")
+        """Execution-time speedup relative to ``baseline`` (>1 is faster).
+
+        Degenerate runs (zero cycles on either side, possible when a config
+        produces an empty timed region) yield 0.0 rather than raising, so
+        aggregation can surface the offending value instead of crashing.
+        """
+        if self.cycles <= 0 or baseline.cycles <= 0:
+            return 0.0
         return baseline.cycles / self.cycles
 
     @property
@@ -82,3 +90,24 @@ class SimResult:
         if not total:
             return {}
         return {k: v / total for k, v in self.predictor_scenarios.items()}
+
+    # ------------------------------------------------------------------
+    # Persistence (the on-disk sweep cache stores results as JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dict of every field (all values are scalars,
+        lists of scalars, or string-keyed scalar dicts)."""
+        out: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (list, dict)):
+                value = value.copy()
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimResult":
+        """Inverse of :meth:`to_dict`; unknown keys are ignored and missing
+        keys fall back to field defaults (forward/backward compatible)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})

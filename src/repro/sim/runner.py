@@ -1,7 +1,9 @@
 """Convenience runners: simulate designs over workloads and compute speedups.
 
-Baseline (``no-cache``) results are cached per (workload, config) because
-every paper figure normalizes against the same baseline.
+Baseline (``no-cache``) results are cached through the persistent sweep
+cache in :mod:`repro.sim.parallel` because every paper figure normalizes
+against the same baseline; the cache key covers the full frozen
+``SystemConfig`` plus ``warmup_fraction``, ``reads_per_core`` and ``seed``.
 """
 
 from __future__ import annotations
@@ -18,15 +20,6 @@ from repro.workloads.trace import Workload
 #: steady state at the default capacity scale, small enough to keep a full
 #: figure sweep in minutes.
 DEFAULT_READS_PER_CORE = 12000
-
-_baseline_cache: Dict[Tuple, SimResult] = {}
-
-
-def _config_key(config: SystemConfig) -> Tuple:
-    # SystemConfig is a frozen dataclass of hashable fields, so the whole
-    # config participates in the baseline cache key (a partial key once
-    # caused stale baselines when sweeping mshrs_per_core).
-    return (config,)
 
 
 def run_design(
@@ -71,15 +64,34 @@ def baseline_result(
     config: Optional[SystemConfig] = None,
     reads_per_core: int = DEFAULT_READS_PER_CORE,
     seed: int = 1,
+    warmup_fraction: float = 0.25,
 ) -> SimResult:
-    """The ``no-cache`` baseline for a benchmark, cached across experiments."""
+    """The ``no-cache`` baseline for a benchmark, cached across experiments.
+
+    Served from (and stored into) the persistent sweep cache; the key
+    includes ``warmup_fraction``, so non-default-warmup runs no longer
+    normalize against a 0.25-warmup baseline.
+    """
+    from repro.sim.parallel import cell_key, get_result_cache
+
     config = config or SystemConfig()
-    key = (benchmark, reads_per_core, seed) + _config_key(config)
-    if key not in _baseline_cache:
-        _baseline_cache[key] = run_benchmark(
-            "no-cache", benchmark, config, reads_per_core, seed=seed
-        )
-    return _baseline_cache[key]
+    cache = get_result_cache()
+    key = cell_key(
+        "no-cache", benchmark, config, reads_per_core, warmup_fraction, seed
+    )
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    result = run_benchmark(
+        "no-cache",
+        benchmark,
+        config,
+        reads_per_core,
+        warmup_fraction=warmup_fraction,
+        seed=seed,
+    )
+    cache.put(key, result)
+    return result
 
 
 def speedup(
@@ -88,11 +100,25 @@ def speedup(
     config: Optional[SystemConfig] = None,
     reads_per_core: int = DEFAULT_READS_PER_CORE,
     seed: int = 1,
+    warmup_fraction: float = 0.25,
 ) -> Tuple[float, SimResult]:
     """Speedup of ``design`` over the no-cache baseline, plus the raw result."""
     config = config or SystemConfig()
-    base = baseline_result(benchmark, config, reads_per_core, seed=seed)
-    result = run_benchmark(design, benchmark, config, reads_per_core, seed=seed)
+    base = baseline_result(
+        benchmark,
+        config,
+        reads_per_core,
+        seed=seed,
+        warmup_fraction=warmup_fraction,
+    )
+    result = run_benchmark(
+        design,
+        benchmark,
+        config,
+        reads_per_core,
+        warmup_fraction=warmup_fraction,
+        seed=seed,
+    )
     return result.speedup_vs(base), result
 
 
@@ -102,10 +128,18 @@ def compare_designs(
     config: Optional[SystemConfig] = None,
     reads_per_core: int = DEFAULT_READS_PER_CORE,
     seed: int = 1,
+    warmup_fraction: float = 0.25,
 ) -> Dict[str, Tuple[float, SimResult]]:
     """Run several designs on one benchmark; returns design -> (speedup, result)."""
     return {
-        design: speedup(design, benchmark, config, reads_per_core, seed=seed)
+        design: speedup(
+            design,
+            benchmark,
+            config,
+            reads_per_core,
+            seed=seed,
+            warmup_fraction=warmup_fraction,
+        )
         for design in designs
     }
 
@@ -116,8 +150,11 @@ def geometric_mean(values: Iterable[float]) -> float:
     if not vals:
         return 0.0
     product = 1.0
-    for v in vals:
+    for i, v in enumerate(vals):
         if v <= 0:
-            raise ValueError("geometric mean requires positive values")
+            raise ValueError(
+                f"geometric mean requires positive values; "
+                f"got {v!r} at index {i} of {vals!r}"
+            )
         product *= v
     return product ** (1.0 / len(vals))

@@ -67,6 +67,8 @@ class System:
         self._heap: List = []
         self._seq = count()
         self.now = 0.0
+        #: Heap entries popped by :meth:`run` (sweep telemetry).
+        self.events_processed = 0
         if callable(design):
             # Custom builder: builder(config, stacked, memory, schedule).
             self.design: DramCacheDesign = design(
@@ -121,6 +123,7 @@ class System:
         while self._heap:
             when, _, fn = heapq.heappop(self._heap)
             self.now = when
+            self.events_processed += 1
             fn(when)
 
         return self._collect()
@@ -211,4 +214,5 @@ class System:
             hit_latency_p50=design.hit_latency_hist.percentile(0.50),
             hit_latency_p95=design.hit_latency_hist.percentile(0.95),
             read_latency_p95=design.read_latency_hist.percentile(0.95),
+            heap_events=self.events_processed,
         )

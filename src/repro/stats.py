@@ -7,6 +7,7 @@ and the experiment harness can render paper tables uniformly.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
@@ -77,11 +78,10 @@ class Histogram:
         self.counts: List[int] = [0] * (len(self.edges) + 1)
 
     def sample(self, value: float) -> None:
-        for i, edge in enumerate(self.edges):
-            if value <= edge:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        # bisect_left finds the first edge with value <= edge (edges are
+        # sorted), i.e. the bucket a linear scan would pick; index len(edges)
+        # is the overflow bucket. Called once per latency sample (hot path).
+        self.counts[bisect_left(self.edges, value)] += 1
 
     @property
     def total(self) -> int:

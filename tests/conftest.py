@@ -1,0 +1,25 @@
+"""Suite-wide fixtures.
+
+The persistent sweep cache (``repro.sim.parallel``) defaults to
+``.repro_cache/`` under the working directory. Tests must never read
+results cached by an earlier (possibly different-code) run, nor litter the
+repo, so the whole session is pointed at a throwaway directory unless the
+caller explicitly pins ``REPRO_CACHE_DIR``.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    if "REPRO_CACHE_DIR" in os.environ:
+        yield
+        return
+    cache_dir = tmp_path_factory.mktemp("repro_cache")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    try:
+        yield
+    finally:
+        os.environ.pop("REPRO_CACHE_DIR", None)

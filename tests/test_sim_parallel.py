@@ -1,0 +1,240 @@
+"""Tests for the parallel sweep executor and the persistent result cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.parallel import (
+    ResultCache,
+    SweepCell,
+    cell_key,
+    make_cells,
+    run_sweep,
+)
+from repro.sim.results import SimResult
+
+DESIGNS = ("no-cache", "alloy-map-i")
+BENCHMARKS = ("sphinx_r", "gcc_r")
+
+
+def tiny_config() -> SystemConfig:
+    return SystemConfig(capacity_scale=4096)
+
+
+@pytest.fixture
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "cache", persist=True)
+
+
+def tiny_cells(reads=300, warmup=0.25, config=None):
+    return make_cells(
+        DESIGNS,
+        BENCHMARKS,
+        config=config or tiny_config(),
+        reads_per_core=reads,
+        warmup_fraction=warmup,
+    )
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_matches_serial_exactly(self, tmp_path):
+        """max_workers=4 must return identical SimResult fields to the
+        serial path for a 2-design x 2-benchmark grid."""
+        serial = run_sweep(
+            tiny_cells(),
+            max_workers=1,
+            cache=ResultCache(tmp_path / "serial", persist=True),
+        )
+        parallel = run_sweep(
+            tiny_cells(),
+            max_workers=4,
+            cache=ResultCache(tmp_path / "parallel", persist=True),
+        )
+        assert len(serial.cells) == len(parallel.cells) == 4
+        for design in DESIGNS:
+            for benchmark in BENCHMARKS:
+                a = serial.result(design, benchmark)
+                b = parallel.result(design, benchmark)
+                assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_grid_and_speedups(self, cache):
+        report = run_sweep(tiny_cells(), max_workers=1, cache=cache)
+        speedups = report.speedups("no-cache")
+        for benchmark in BENCHMARKS:
+            assert speedups[("no-cache", benchmark)] == pytest.approx(1.0)
+
+
+class TestPersistentCache:
+    def test_repeat_sweep_served_entirely_from_cache(self, cache):
+        first = run_sweep(tiny_cells(), max_workers=1, cache=cache)
+        assert first.cache_misses == 4 and first.cache_hits == 0
+        again = run_sweep(tiny_cells(), max_workers=1, cache=cache)
+        assert again.cache_hits == 4 and again.cache_misses == 0
+        for design in DESIGNS:
+            for benchmark in BENCHMARKS:
+                assert dataclasses.asdict(
+                    first.result(design, benchmark)
+                ) == dataclasses.asdict(again.result(design, benchmark))
+
+    def test_cache_survives_process_state(self, cache):
+        """A fresh ResultCache over the same directory (a new process after
+        a crash) serves the completed cells from disk."""
+        run_sweep(tiny_cells(), max_workers=1, cache=cache)
+        resumed = ResultCache(cache.directory, persist=True)
+        report = run_sweep(tiny_cells(), max_workers=1, cache=resumed)
+        assert report.cache_hits == 4 and report.cache_misses == 0
+
+    def test_round_trip_preserves_every_field(self, cache):
+        cell = SweepCell(
+            "alloy-map-i", "sphinx_r", tiny_config(), reads_per_core=300
+        )
+        direct = run_sweep([cell], max_workers=1, cache=cache).cells[0].result
+        cached = ResultCache(cache.directory, persist=True).get(cell.key())
+        assert dataclasses.asdict(cached) == dataclasses.asdict(direct)
+
+    def test_warmup_fraction_changes_key(self):
+        config = tiny_config()
+        default = cell_key("alloy-map-i", "mcf_r", config, 300, 0.25, 1)
+        other = cell_key("alloy-map-i", "mcf_r", config, 300, 0.5, 1)
+        assert default != other
+
+    def test_any_config_field_changes_key(self):
+        """Every SystemConfig field participates in the content key."""
+        base = tiny_config()
+        overrides = {
+            "num_cores": 4,
+            "l3_latency": 30,
+            "sram_tag_latency": 12,
+            "missmap_latency": 12,
+            "predictor_latency": 2,
+            "cache_size_bytes": base.cache_size_bytes // 2,
+            "capacity_scale": 2048,
+            "write_issue_cycles": 2,
+            "mshrs_per_core": 2,
+            "offchip_page_policy": "closed",
+            "stacked_page_policy": "closed",
+            "offchip": base.offchip.scaled(t_cas=40),
+            "stacked": base.stacked.scaled(t_cas=20),
+        }
+        reference = cell_key("alloy-map-i", "mcf_r", base, 300, 0.25, 1)
+        for field_name, value in overrides.items():
+            changed = dataclasses.replace(base, **{field_name: value})
+            assert cell_key(
+                "alloy-map-i", "mcf_r", changed, 300, 0.25, 1
+            ) != reference, field_name
+
+    def test_config_change_invalidates_disk_entry(self, cache):
+        """Runs under a modified config must not be served from entries
+        written under the original config (and vice versa)."""
+        run_sweep(tiny_cells(), max_workers=1, cache=cache)
+        changed = dataclasses.replace(tiny_config(), l3_latency=48)
+        report = run_sweep(
+            tiny_cells(config=changed), max_workers=1, cache=cache
+        )
+        assert report.cache_hits == 0 and report.cache_misses == 4
+
+    def test_warmup_change_invalidates_disk_entry(self, cache):
+        run_sweep(tiny_cells(warmup=0.25), max_workers=1, cache=cache)
+        report = run_sweep(
+            tiny_cells(warmup=0.4), max_workers=1, cache=cache
+        )
+        assert report.cache_hits == 0 and report.cache_misses == 4
+
+    def test_corrupt_cache_file_is_a_miss(self, cache):
+        cell = tiny_cells()[0]
+        run_sweep([cell], max_workers=1, cache=cache)
+        path = cache.directory / f"{cell.key()}.json"
+        path.write_text("{not json")
+        fresh = ResultCache(cache.directory, persist=True)
+        assert fresh.get(cell.key()) is None
+        report = run_sweep([cell], max_workers=1, cache=fresh)
+        assert report.cache_misses == 1
+
+    def test_no_cache_mode_never_writes(self, tmp_path):
+        cache = ResultCache(tmp_path / "off", persist=False)
+        run_sweep(tiny_cells(), max_workers=1, cache=cache, use_cache=False)
+        assert not (tmp_path / "off").exists()
+
+    def test_duplicate_cells_simulated_once(self, cache):
+        cell = tiny_cells()[0]
+        report = run_sweep([cell, cell], max_workers=1, cache=cache)
+        assert report.cache_misses == 1 and report.cache_hits == 1
+        assert dataclasses.asdict(report.cells[0].result) == dataclasses.asdict(
+            report.cells[1].result
+        )
+
+
+class TestTelemetry:
+    def test_cells_report_events_and_wall(self, cache):
+        report = run_sweep(tiny_cells(), max_workers=1, cache=cache)
+        for cell in report.cells:
+            assert cell.heap_events > 0
+            assert cell.wall_seconds > 0
+            assert cell.events_per_sec > 0
+        assert report.total_heap_events == sum(
+            c.heap_events for c in report.cells
+        )
+        assert report.elapsed_seconds > 0
+
+    def test_render_mentions_cache_and_events(self, cache):
+        report = run_sweep(tiny_cells(), max_workers=1, cache=cache)
+        rendered = report.render()
+        assert "events/sec" in rendered
+        assert "4 cells" in rendered
+        assert "miss" in rendered
+
+    def test_cache_file_contains_cell_echo(self, cache):
+        cell = tiny_cells()[0]
+        run_sweep([cell], max_workers=1, cache=cache)
+        data = json.loads(
+            (cache.directory / f"{cell.key()}.json").read_text()
+        )
+        assert data["cell"]["design"] == cell.design
+        assert data["cell"]["warmup_fraction"] == cell.warmup_fraction
+        assert data["telemetry"]["heap_events"] > 0
+        assert SimResult.from_dict(data["result"]).design
+
+
+class TestRunnerCacheIntegration:
+    def test_baseline_respects_warmup_fraction(self, monkeypatch, tmp_path):
+        """The old module-global baseline cache ignored warmup_fraction;
+        the persistent cache must not serve a 0.25-warmup baseline to a
+        0.5-warmup speedup computation."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        from repro.sim.runner import baseline_result
+
+        config = tiny_config()
+        default = baseline_result(
+            "sphinx_r", config, reads_per_core=300, warmup_fraction=0.25
+        )
+        halved = baseline_result(
+            "sphinx_r", config, reads_per_core=300, warmup_fraction=0.5
+        )
+        assert default.cycles != halved.cycles
+
+    def test_speedup_threads_warmup(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        from repro.sim.runner import speedup
+
+        config = tiny_config()
+        s, result = speedup(
+            "perfect-l3",
+            "sphinx_r",
+            config,
+            reads_per_core=300,
+            warmup_fraction=0.5,
+        )
+        assert s > 1.0
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            run_sweep([], max_workers=0)
+
+    def test_missing_cell_raises(self, cache):
+        report = run_sweep(tiny_cells(), max_workers=1, cache=cache)
+        with pytest.raises(KeyError):
+            report.result("sram-tag", "sphinx_r")

@@ -76,6 +76,27 @@ class TestHistogram:
     def test_fraction_empty(self):
         assert Histogram("lat", [1]).fraction_at_or_below(1) == 0.0
 
+    def test_bisect_matches_linear_scan(self):
+        """Micro-assertion: bucket assignment is unchanged by the bisect
+        rewrite of ``sample`` (including exact edges and overflow)."""
+        edges = [0, 10, 10.5, 100, 1000]
+
+        def linear_bucket(value):
+            for i, edge in enumerate(edges):
+                if value <= edge:
+                    return i
+            return len(edges)
+
+        h = Histogram("lat", edges)
+        samples = [-5, 0, 0.1, 9.99, 10, 10.25, 10.5, 11, 100, 500, 1000,
+                   1000.01, 1e9]
+        for value in samples:
+            h.sample(value)
+        expected = [0] * (len(edges) + 1)
+        for value in samples:
+            expected[linear_bucket(value)] += 1
+        assert h.counts == expected
+
 
 class TestRatio:
     def test_normal(self):
