@@ -18,6 +18,7 @@ Quickstart::
           f"hit rate {result.read_hit_rate:.1%}")
 """
 
+from repro.lifecycle import STAGES, LatencyBreakdown, MemoryRequest
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
 from repro.sim.runner import (
@@ -45,11 +46,14 @@ from repro.workloads.spec import (
     build_workload,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SystemConfig",
     "SimResult",
+    "MemoryRequest",
+    "LatencyBreakdown",
+    "STAGES",
     "run_benchmark",
     "run_design",
     "speedup",

@@ -8,12 +8,14 @@ from repro.analysis.behr import (
 )
 from repro.analysis.latency import (
     AccessBreakdown,
+    MeasuredBreakdown,
     baseline_latency,
     sram_tag_latency,
     lh_cache_latency,
     ideal_lo_latency,
     alloy_latency,
     fig3_table,
+    measured_breakdown,
 )
 from repro.analysis.bandwidth import BandwidthEntry, table4
 
@@ -23,6 +25,8 @@ __all__ = [
     "behr_curve",
     "fig1_example",
     "AccessBreakdown",
+    "MeasuredBreakdown",
+    "measured_breakdown",
     "baseline_latency",
     "sram_tag_latency",
     "lh_cache_latency",

@@ -134,6 +134,177 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_breakdown_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro breakdown",
+        description=(
+            "Per-stage request-latency breakdowns. By default, replay the "
+            "paper's isolated Figure 3 accesses through the real designs "
+            "and check them against the analytic totals cycle-for-cycle; "
+            "with --benchmarks, run full-system simulations and show the "
+            "average lifecycle-stage attribution per design/workload."
+        ),
+    )
+    parser.add_argument(
+        "--designs",
+        default="alloy-map-i,sram-tag,lh-cache,ideal-lo",
+        help=(
+            "comma-separated design names for --benchmarks mode "
+            "('alloy' = alloy-map-i)"
+        ),
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default="",
+        help=(
+            "comma-separated benchmark names; when given, run full-system "
+            "sims instead of the isolated replay"
+        ),
+    )
+    parser.add_argument(
+        "--reads",
+        type=int,
+        default=4000,
+        metavar="N",
+        help="trace reads per core in --benchmarks mode (default 4000)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help="functional-warmup fraction of each trace (default 0.25)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="workload generation seed"
+    )
+    parser.add_argument(
+        "--width",
+        type=int,
+        default=48,
+        metavar="COLS",
+        help="width of the ASCII stage bars (default 48)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the persistent result cache in --benchmarks mode",
+    )
+    return parser
+
+
+#: One glyph per lifecycle stage, in display order (queue first — it is
+#: whatever delayed the request before any device work started).
+_STAGE_GLYPHS = (
+    ("queue", "q"),
+    ("predictor", "p"),
+    ("tag", "t"),
+    ("data", "d"),
+    ("memory", "m"),
+)
+
+
+def _stage_bar(stages: dict, total: float, width: int) -> str:
+    """Render a stage dict as a proportional ASCII bar (one glyph/stage)."""
+    if total <= 0:
+        return ""
+    out = []
+    for stage, glyph in _STAGE_GLYPHS:
+        cycles = stages.get(stage, 0.0)
+        out.append(glyph * int(round(cycles / total * width)))
+    return "".join(out)
+
+
+def _breakdown_main(argv: List[str]) -> int:
+    args = build_breakdown_parser().parse_args(argv)
+    legend = "  ".join(f"{glyph}={stage}" for stage, glyph in _STAGE_GLYPHS)
+
+    if not args.benchmarks.strip():
+        from repro.analysis.latency import measured_breakdown
+
+        rows = measured_breakdown()
+        print("isolated-access lifecycle breakdown (measured vs Figure 3)")
+        print(f"stages: {legend}")
+        print()
+        header = (
+            f"{'design':<10} {'type':<4} {'event':<5} "
+            f"{'measured':>8} {'analytic':>8}  stages"
+        )
+        print(header)
+        mismatches = 0
+        for (design, access_type, event), row in rows.items():
+            mark = "ok" if row.matches_analytic else "MISMATCH"
+            if not row.matches_analytic:
+                mismatches += 1
+            bar = _stage_bar(row.stages, row.total, args.width)
+            print(
+                f"{design:<10} {access_type:<4} {event:<5} "
+                f"{row.total:>8.0f} {row.analytic_total:>8}  [{bar}] {mark}"
+            )
+        if mismatches:
+            print(f"\n{mismatches} rows diverge from the analytic model")
+            return 1
+        print("\nall rows match the analytic model cycle-exactly")
+        return 0
+
+    from repro.dramcache.factory import DESIGN_NAMES
+    from repro.sim.parallel import make_cells, run_sweep
+    from repro.workloads.spec import get_benchmark
+
+    designs = [
+        _DESIGN_ALIASES.get(name.strip().lower(), name.strip().lower())
+        for name in args.designs.split(",")
+        if name.strip()
+    ]
+    unknown = [d for d in designs if d not in DESIGN_NAMES]
+    if unknown:
+        print(f"unknown designs: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(DESIGN_NAMES)}", file=sys.stderr)
+        return 2
+    try:
+        benchmarks = [
+            get_benchmark(name.strip()).name
+            for name in args.benchmarks.split(",")
+            if name.strip()
+        ]
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    cells = make_cells(
+        designs,
+        benchmarks,
+        reads_per_core=args.reads,
+        warmup_fraction=args.warmup,
+        seed=args.seed,
+    )
+    report = run_sweep(cells, use_cache=not args.no_cache)
+
+    print("full-system lifecycle breakdown (mean cycles per demand read)")
+    print(f"stages: {legend}")
+    for benchmark in benchmarks:
+        print(f"\n{benchmark}:")
+        for design in designs:
+            result = report.result(design, benchmark)
+            means = result.stage_latency_means
+            total = result.avg_read_latency
+            bar = _stage_bar(means, total, args.width)
+            parts = "  ".join(
+                f"{stage}={means.get(stage, 0.0):6.1f}"
+                for stage, _ in _STAGE_GLYPHS
+            )
+            audit = (
+                ""
+                if result.unattributed_cycles == 0
+                else f"  unattributed={result.unattributed_cycles:.1f}"
+            )
+            print(
+                f"  {design:<14} {total:7.1f} cyc  [{bar}]\n"
+                f"  {'':<14} {parts}{audit}"
+            )
+    return 0
+
+
 def _sweep_main(argv: List[str]) -> int:
     from pathlib import Path
 
@@ -216,13 +387,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
+    if argv and argv[0] == "breakdown":
+        return _breakdown_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
         print("available experiments:")
         for experiment_id in EXPERIMENTS:
             print(f"  {experiment_id}")
-        print("\nother verbs:\n  sweep (see 'repro sweep --help')")
+        print(
+            "\nother verbs:\n"
+            "  sweep (see 'repro sweep --help')\n"
+            "  breakdown (see 'repro breakdown --help')"
+        )
         return 0
 
     requested = list(args.experiments)

@@ -32,6 +32,7 @@ from typing import List, Optional
 
 from repro.dram.mapping import AddressMapping, RowLocation
 from repro.dram.timings import DramTimings
+from repro.lifecycle import LatencyBreakdown
 from repro.stats import StatGroup
 from repro.units import LINE_SIZE
 
@@ -50,6 +51,16 @@ class AccessResult:
         done: Cycle at which the last beat crossed the bus.
         row_hit: Whether the access hit in the open row buffer.
         queue_delay: Cycles spent waiting for the bank before service.
+        bus_queue_delay: Cycles the ready data waited for the channel bus
+            (``bus_start - data_ready``; previously dropped silently).
+        act_cycles: Activation cycles charged (0 on a row hit; includes the
+            explicit precharge when a conflicting row was open).
+        cas_cycles: Column-access cycles charged (every access).
+        burst_cycles: Bus cycles the transfer held the channel.
+
+    The five stage fields decompose the access exactly:
+    ``queue_delay + act_cycles + cas_cycles + bus_queue_delay +
+    burst_cycles == done - issue time`` (see :meth:`breakdown`).
     """
 
     start: float
@@ -57,6 +68,28 @@ class AccessResult:
     done: float
     row_hit: bool
     queue_delay: float
+    bus_queue_delay: float = 0.0
+    act_cycles: float = 0.0
+    cas_cycles: float = 0.0
+    burst_cycles: float = 0.0
+
+    def breakdown(self) -> LatencyBreakdown:
+        """Device-level stage decomposition of this access.
+
+        Stages are ``bank_queue`` / ``act`` / ``cas`` / ``bus_queue`` /
+        ``burst``; their sum equals the end-to-end access latency. Designs
+        usually fold these into the controller-level taxonomy via
+        :meth:`~repro.lifecycle.LatencyBreakdown.attribute_device` instead.
+        """
+        return LatencyBreakdown(
+            {
+                "bank_queue": self.queue_delay,
+                "act": self.act_cycles,
+                "cas": self.cas_cycles,
+                "bus_queue": self.bus_queue_delay,
+                "burst": self.burst_cycles,
+            }
+        )
 
 
 class PriorityTimeline:
@@ -162,11 +195,12 @@ class DramDevice:
         open_row = self._open_row[bank_idx]
         row_hit = open_row == loc.row
         if row_hit:
-            core_latency = t.t_cas
+            act_cycles = 0
         elif open_row is None:
-            core_latency = t.t_act + t.t_cas
+            act_cycles = t.t_act
         else:
-            core_latency = t.t_rp + t.t_act + t.t_cas
+            act_cycles = t.t_rp + t.t_act
+        core_latency = act_cycles + t.t_cas
 
         bank_service = core_latency + burst_cycles
         start = self._banks[bank_idx].reserve(
@@ -177,6 +211,7 @@ class DramDevice:
         bus_start = self._buses[loc.channel].reserve(
             data_ready, burst_cycles, background, t.line_burst, self._watermark()
         )
+        bus_queue_delay = bus_start - data_ready
         done = bus_start + burst_cycles
         self._open_row[bank_idx] = loc.row if self.page_policy == "open" else None
 
@@ -193,8 +228,10 @@ class DramDevice:
             int(burst_cycles * LINE_SIZE / t.line_burst)
         )
         self.stats.accumulator("queue_delay").sample(queue_delay)
+        self.stats.accumulator("bus_queue_delay").sample(bus_queue_delay)
         if not background:
             self.stats.accumulator("demand_queue_delay").sample(queue_delay)
+            self.stats.accumulator("demand_bus_queue_delay").sample(bus_queue_delay)
         self.stats.accumulator("access_latency").sample(done - now)
         return AccessResult(
             start=start,
@@ -202,6 +239,10 @@ class DramDevice:
             done=done,
             row_hit=row_hit,
             queue_delay=queue_delay,
+            bus_queue_delay=bus_queue_delay,
+            act_cycles=float(act_cycles),
+            cas_cycles=float(t.t_cas),
+            burst_cycles=float(burst_cycles),
         )
 
     def access_line(

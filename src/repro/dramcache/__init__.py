@@ -7,6 +7,7 @@ so the system simulator and the experiment harness treat them uniformly.
 """
 
 from repro.dramcache.base import AccessOutcome, DramCacheDesign
+from repro.lifecycle import LatencyBreakdown, MemoryRequest
 from repro.dramcache.no_cache import NoCacheDesign, PerfectL3Design
 from repro.dramcache.sram_tag import SramTagDesign
 from repro.dramcache.lh_cache import LHCacheDesign
@@ -17,6 +18,8 @@ from repro.dramcache.factory import make_design, DESIGN_NAMES
 __all__ = [
     "AccessOutcome",
     "DramCacheDesign",
+    "MemoryRequest",
+    "LatencyBreakdown",
     "NoCacheDesign",
     "PerfectL3Design",
     "SramTagDesign",

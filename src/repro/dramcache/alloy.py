@@ -24,6 +24,13 @@ from repro.cache.missmap import MissMap
 from repro.core.alloy import AlloyCache
 from repro.core.predictors import MemoryAccessPredictor, PerfectPredictor
 from repro.dramcache.base import AccessOutcome, DramCacheDesign, RowMapper
+from repro.lifecycle import (
+    STAGE_DATA,
+    STAGE_MEMORY,
+    STAGE_PREDICTOR,
+    STAGE_TAG,
+    LatencyBreakdown,
+)
 
 
 #: Canonical short labels for predictor classes, matching the factory's
@@ -73,6 +80,9 @@ class AlloyCacheDesign(DramCacheDesign):
     def _set_and_loc(self, line_address: int):
         set_index = self.cache.set_index(line_address)
         return set_index, self._rows.locate(self.cache.geometry.row_of_set(set_index))
+
+    def data_location(self, line_address: int):
+        return self._set_and_loc(line_address)[1]
 
     def _tad_burst(self, set_index: int) -> int:
         transfer = self.cache.geometry.transfer_for_set(set_index, self.burst_beats)
@@ -139,6 +149,7 @@ class AlloyCacheDesign(DramCacheDesign):
             now, core_id, pc, actual_miss=not hit
         )
         self._classify(predicted_memory, actual_memory=not hit)
+        breakdown = LatencyBreakdown({STAGE_PREDICTOR: pred_ready - now})
 
         # The TAD probe always happens (tags live in the TAD).
         tad = self.stacked.access(pred_ready, loc, burst)
@@ -151,6 +162,8 @@ class AlloyCacheDesign(DramCacheDesign):
                 self._memory_read(pred_ready, line_address)
                 self.stats.counter("wasted_memory_reads").add()
             done = tad.done
+            # The TAD stream *is* the data access: no tag serialization.
+            self._attribute(breakdown, tad, STAGE_DATA)
             self._record_read(hit=True, latency=done - now)
             self._train(core_id, pc, went_to_memory=False)
             return AccessOutcome(
@@ -158,6 +171,7 @@ class AlloyCacheDesign(DramCacheDesign):
                 cache_hit=True,
                 served_by_memory=False,
                 predicted_memory=predicted_memory,
+                breakdown=breakdown,
             )
 
         if predicted_memory:
@@ -165,8 +179,19 @@ class AlloyCacheDesign(DramCacheDesign):
             # Memory data is usable only after the tag check rules out a
             # dirty copy in the cache.
             done = max(mem.done, tad.done)
+            # Attribute the critical path; the shorter leg fully overlaps.
+            # When the tag check gates consumption, the probe is pure tag
+            # serialization; otherwise the memory access alone is exposed.
+            if tad.done > mem.done:
+                self._attribute(breakdown, tad, STAGE_TAG)
+            else:
+                self._attribute(breakdown, mem, STAGE_MEMORY)
         else:
+            # Serial Access Model: the probe rules the access a miss before
+            # memory is consulted — tag serialization, then memory.
+            self._attribute(breakdown, tad, STAGE_TAG)
             mem = self._memory_read(tad.done, line_address)  # serialized (SAM)
+            self._attribute(breakdown, mem, STAGE_MEMORY)
             done = mem.done
         self._record_read(hit=False, latency=done - now)
         self._train(core_id, pc, went_to_memory=True)
@@ -176,6 +201,7 @@ class AlloyCacheDesign(DramCacheDesign):
             cache_hit=False,
             served_by_memory=True,
             predicted_memory=predicted_memory,
+            breakdown=breakdown,
         )
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ from repro.cache.replacement import LRUPolicy
 from repro.cache.set_assoc import SetAssocCache
 from repro.dramcache.alloy import AlloyCacheDesign
 from repro.dramcache.base import AccessOutcome
+from repro.lifecycle import STAGE_DATA, LatencyBreakdown
 
 #: Cycles to read a line out of the small SRAM victim buffer.
 VICTIM_HIT_CYCLES = 3
@@ -82,6 +83,8 @@ class AlloyVictimDesign(AlloyCacheDesign):
             return AccessOutcome(
                 done=done, cache_hit=True, served_by_memory=False,
                 predicted_memory=False,
+                # An SRAM read next to the controller: pure data service.
+                breakdown=LatencyBreakdown({STAGE_DATA: float(VICTIM_HIT_CYCLES)}),
             )
         return super().access(now, line_address, is_write, pc, core_id)
 

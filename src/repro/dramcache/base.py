@@ -8,21 +8,38 @@ callback so device reservations happen in (approximate) time order.
 
 Common accounting lives here so that every design reports hit rate, average
 hit latency and traffic identically (Figures 4/6/8/10, Tables 1/5/6).
+
+Request lifecycle
+-----------------
+The system loop wraps each L3 miss in a
+:class:`~repro.lifecycle.MemoryRequest` and calls :meth:`handle`, which
+dispatches to the design's :meth:`access` and audits the returned
+:class:`~repro.lifecycle.LatencyBreakdown`: every demand read's stage
+cycles are accumulated per stage (mean + histogram for p95) and any gap
+between the breakdown total and the end-to-end latency is recorded as
+``unattributed_cycles`` — which the test suite pins at zero, so no cycle
+ever goes missing from the decomposition.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
-from repro.dram.device import DramDevice
+from repro.dram.device import AccessResult, DramDevice
 from repro.dram.mapping import RowLocation
+from repro.lifecycle import STAGES, LatencyBreakdown, MemoryRequest
 from repro.sim.config import SystemConfig
 from repro.stats import Histogram, StatGroup
 
 #: Bucket edges (cycles) for hit/read latency distributions.
 LATENCY_BUCKETS = (25, 50, 75, 100, 150, 200, 300, 500)
+
+#: Attribution gaps below this are floating-point association noise (trace
+#: gaps are fractional, and the breakdown sums stages in a different order
+#: than the device chained them), not missing cycles.
+ATTRIBUTION_EPSILON = 1e-6
 
 #: Scheduler signature: ``schedule(when, fn)`` runs ``fn(when)`` at ``when``.
 Scheduler = Callable[[float, Callable[[float], None]], None]
@@ -39,12 +56,16 @@ class AccessOutcome:
         served_by_memory: Whether off-chip memory supplied the data.
         predicted_memory: The access predictor's decision (None if the
             design does not predict, e.g. SRAM-Tag).
+        breakdown: Per-stage attribution of a demand read's latency; its
+            stages sum to ``done - issue``. None for writes (posted, zero
+            observed latency).
     """
 
     done: float
     cache_hit: bool
     served_by_memory: bool
     predicted_memory: Optional[bool] = None
+    breakdown: Optional[LatencyBreakdown] = None
 
 
 class DramCacheDesign(ABC):
@@ -66,6 +87,11 @@ class DramCacheDesign(ABC):
         self.stats = StatGroup(self.name)
         self.hit_latency_hist = Histogram("hit_latency", LATENCY_BUCKETS)
         self.read_latency_hist = Histogram("read_latency", LATENCY_BUCKETS)
+        #: Per-stage latency accumulators (one per lifecycle stage); every
+        #: demand read samples every canonical stage (0.0 when absent) so
+        #: stage means decompose the average read latency exactly.
+        self.stage_stats = StatGroup(f"{self.name}.stages")
+        self._stage_hists: Dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
     # Interface
@@ -81,6 +107,34 @@ class DramCacheDesign(ABC):
     ) -> AccessOutcome:
         """Handle one L3 miss arriving at the DRAM-cache controller."""
 
+    def handle(self, request: MemoryRequest) -> AccessOutcome:
+        """Full request lifecycle: dispatch to :meth:`access`, then audit
+        and accumulate the returned per-stage latency breakdown.
+
+        This is the entry point the system loop (and the measured-breakdown
+        replay in :mod:`repro.analysis.latency`) uses; calling
+        :meth:`access` directly skips only the stage accounting.
+        """
+        outcome = self.access(
+            request.issue_cycle,
+            request.line_address,
+            request.is_write,
+            request.pc,
+            request.core_id,
+        )
+        if not request.is_write and outcome.breakdown is not None:
+            self._record_stages(
+                outcome.breakdown, outcome.done - request.issue_cycle
+            )
+        return outcome
+
+    def data_location(self, line_address: int) -> Optional[RowLocation]:
+        """Stacked-DRAM coordinate holding ``line_address``'s data, or None
+        for designs without a stacked array (baselines). Used by the
+        isolated-access replay to prime row-buffer state deterministically.
+        """
+        return None
+
     def warm(self, line_address: int, is_write: bool, pc: int, core_id: int) -> None:
         """Replay one record functionally (no timing): fill tag state and
         train predictors so the timed phase starts from steady state.
@@ -91,6 +145,59 @@ class DramCacheDesign(ABC):
     # ------------------------------------------------------------------
     # Shared accounting helpers
     # ------------------------------------------------------------------
+    def _record_stages(self, breakdown: LatencyBreakdown, latency: float) -> None:
+        """Accumulate one read's stage attribution into the per-stage stats.
+
+        The audit: ``unattributed_cycles`` sums the absolute gap between the
+        breakdown total and the observed end-to-end latency. Tests pin it at
+        zero, so every design's arithmetic stays honest under load.
+        """
+        gap = abs(latency - breakdown.total)
+        self.stats.accumulator("unattributed_cycles").sample(
+            gap if gap > ATTRIBUTION_EPSILON else 0.0
+        )
+        for stage in STAGES:
+            cycles = breakdown.get(stage)
+            self.stage_stats.accumulator(stage).sample(cycles)
+            hist = self._stage_hists.get(stage)
+            if hist is None:
+                hist = self._stage_hists[stage] = Histogram(
+                    stage, LATENCY_BUCKETS
+                )
+            hist.sample(cycles)
+        for stage, cycles in breakdown.items():
+            if stage not in STAGES:  # forward-compat: custom stages
+                self.stage_stats.accumulator(stage).sample(cycles)
+
+    def _attribute(
+        self, breakdown: LatencyBreakdown, result: AccessResult, stage: str
+    ) -> LatencyBreakdown:
+        """Fold one device access into ``breakdown``: queueing (bank + bus)
+        to the shared ``queue`` stage, service cycles to ``stage``."""
+        return breakdown.attribute_device(result, stage)
+
+    def stage_means(self) -> Dict[str, float]:
+        """Average cycles per demand read spent in each lifecycle stage;
+        the values sum to the average read latency."""
+        return {
+            stage: acc.mean for stage, acc in self.stage_stats.accumulators.items()
+        }
+
+    def stage_p95s(self) -> Dict[str, float]:
+        """Per-stage p95 cycles (bucket-edge approximation, like the
+        hit/read latency percentiles)."""
+        return {
+            stage: hist.percentile(0.95)
+            for stage, hist in self._stage_hists.items()
+        }
+
+    @property
+    def unattributed_cycles(self) -> float:
+        """Total absolute cycles the stage breakdowns failed to account for
+        (the lifecycle audit; 0.0 when every design attributed exactly)."""
+        acc = self.stats.accumulators.get("unattributed_cycles")
+        return acc.total if acc else 0.0
+
     def _record_read(self, hit: bool, latency: float) -> None:
         if hit:
             self.stats.counter("read_hits").add()

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.cache.direct_mapped import DirectMappedCache
 from repro.dramcache.base import AccessOutcome, DramCacheDesign, RowMapper
+from repro.lifecycle import STAGE_DATA, STAGE_MEMORY, LatencyBreakdown
 from repro.units import LINES_PER_ROW, ROW_BUFFER_SIZE, TADS_PER_ROW
 
 
@@ -33,6 +34,9 @@ class IdealLODesign(DramCacheDesign):
     def _loc(self, line_address: int):
         set_index = self.cache.set_index(line_address)
         return self._rows.locate(set_index // self.sets_per_row)
+
+    def data_location(self, line_address: int):
+        return self._loc(line_address)
 
     def warm(self, line_address, is_write, pc, core_id):
         hit = self.cache.lookup(line_address, is_write=is_write)
@@ -69,6 +73,7 @@ class IdealLODesign(DramCacheDesign):
             return AccessOutcome(
                 done=result.done, cache_hit=True, served_by_memory=False,
                 predicted_memory=False,
+                breakdown=self._attribute(LatencyBreakdown(), result, STAGE_DATA),
             )
 
         # Perfect prediction: the miss goes to memory immediately.
@@ -78,6 +83,7 @@ class IdealLODesign(DramCacheDesign):
         return AccessOutcome(
             done=mem.done, cache_hit=False, served_by_memory=True,
             predicted_memory=True,
+            breakdown=self._attribute(LatencyBreakdown(), mem, STAGE_MEMORY),
         )
 
     # ------------------------------------------------------------------

@@ -28,6 +28,13 @@ from repro.cache.missmap import MissMap
 from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.cache.set_assoc import SetAssocCache
 from repro.dramcache.base import AccessOutcome, DramCacheDesign, RowMapper
+from repro.lifecycle import (
+    STAGE_DATA,
+    STAGE_MEMORY,
+    STAGE_PREDICTOR,
+    STAGE_TAG,
+    LatencyBreakdown,
+)
 from repro.units import LH_TAG_LINES, LH_WAYS, ROW_BUFFER_SIZE
 
 #: One stacked-DRAM clock (2 CPU cycles) to compare the streamed-out tags
@@ -74,6 +81,9 @@ class LHCacheDesign(DramCacheDesign):
         set_index = self.tags.set_index(line_address)
         return self._rows.locate(set_index // self.sets_per_row)
 
+    def data_location(self, line_address: int):
+        return self._row_of(line_address)
+
     def _tag_burst(self) -> int:
         return self.tag_lines_read * self.stacked.timings.line_burst
 
@@ -109,13 +119,20 @@ class LHCacheDesign(DramCacheDesign):
                 self._schedule_memory_write(t0, line_address)
             return AccessOutcome(done=now, cache_hit=hit, served_by_memory=not hit)
 
+        # Predictor Serialization Latency: the MissMap gates both paths.
+        breakdown = LatencyBreakdown(
+            {STAGE_PREDICTOR: float(self.config.missmap_latency)}
+        )
         if hit:
             loc = self._row_of(line_address)
             tag_read = self.stacked.access(t0, loc, self._tag_burst())
+            self._attribute(breakdown, tag_read, STAGE_TAG)
+            breakdown.add(STAGE_TAG, TAG_CHECK_CYCLES)
             # Compound Access Scheduling: the data access reuses the open row.
             data = self.stacked.access(
                 tag_read.done + TAG_CHECK_CYCLES, loc, self._line_burst()
             )
+            self._attribute(breakdown, data, STAGE_DATA)
             if not data.row_hit:
                 self.stats.counter("compound_row_reopens").add()
             if self.tags.policy.requires_update_traffic:
@@ -127,12 +144,23 @@ class LHCacheDesign(DramCacheDesign):
                 self.stacked.access(data.done, loc, self._update_burst(), is_write=True)
                 self.stats.counter("replacement_updates").add()
             self._record_read(hit=True, latency=data.done - now)
-            return AccessOutcome(done=data.done, cache_hit=True, served_by_memory=False)
+            return AccessOutcome(
+                done=data.done,
+                cache_hit=True,
+                served_by_memory=False,
+                breakdown=breakdown,
+            )
 
         mem = self._memory_read(t0, line_address)
+        self._attribute(breakdown, mem, STAGE_MEMORY)
         self._record_read(hit=False, latency=mem.done - now)
         self.schedule(mem.done, lambda t: self._fill(t, line_address))
-        return AccessOutcome(done=mem.done, cache_hit=False, served_by_memory=True)
+        return AccessOutcome(
+            done=mem.done,
+            cache_hit=False,
+            served_by_memory=True,
+            breakdown=breakdown,
+        )
 
     # ------------------------------------------------------------------
     def _write_hit_traffic(self, now: float, line_address: int) -> None:

@@ -9,6 +9,7 @@ access at L3 latency (charged by the system loop), which is how Table 3's
 from __future__ import annotations
 
 from repro.dramcache.base import AccessOutcome, DramCacheDesign
+from repro.lifecycle import STAGE_MEMORY, LatencyBreakdown
 
 
 class NoCacheDesign(DramCacheDesign):
@@ -25,8 +26,12 @@ class NoCacheDesign(DramCacheDesign):
             )
         result = self._memory_read(now, line_address)
         self._record_read(hit=False, latency=result.done - now)
+        breakdown = self._attribute(LatencyBreakdown(), result, STAGE_MEMORY)
         return AccessOutcome(
-            done=result.done, cache_hit=False, served_by_memory=True
+            done=result.done,
+            cache_hit=False,
+            served_by_memory=True,
+            breakdown=breakdown,
         )
 
 
@@ -42,6 +47,11 @@ class PerfectL3Design(DramCacheDesign):
     def access(self, now, line_address, is_write, pc, core_id):
         if is_write:
             self._record_write(hit=True)
-        else:
-            self._record_read(hit=True, latency=0.0)
-        return AccessOutcome(done=now, cache_hit=True, served_by_memory=False)
+            return AccessOutcome(done=now, cache_hit=True, served_by_memory=False)
+        self._record_read(hit=True, latency=0.0)
+        return AccessOutcome(
+            done=now,
+            cache_hit=True,
+            served_by_memory=False,
+            breakdown=LatencyBreakdown(),
+        )

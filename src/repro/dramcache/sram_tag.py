@@ -21,6 +21,7 @@ from typing import Optional
 from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.cache.set_assoc import SetAssocCache
 from repro.dramcache.base import AccessOutcome, DramCacheDesign, RowMapper
+from repro.lifecycle import STAGE_DATA, STAGE_MEMORY, STAGE_TAG, LatencyBreakdown
 from repro.units import LINES_PER_ROW
 
 #: SRAM bytes of tag state per cached line (5-6 bytes, Section 2).
@@ -61,6 +62,9 @@ class SramTagDesign(DramCacheDesign):
         set_index = self.tags.set_index(line_address)
         return self._rows.locate(set_index // self.sets_per_row)
 
+    def data_location(self, line_address: int):
+        return self._row_of(line_address)
+
     def sram_overhead_bytes(self) -> int:
         """SRAM tag-store size for the *nominal* capacity (Section 6.1)."""
         return (self.config.cache_size_bytes // 64) * SRAM_TAG_BYTES_PER_LINE
@@ -94,18 +98,30 @@ class SramTagDesign(DramCacheDesign):
                 self._schedule_memory_write(t_tag, line_address)
             return AccessOutcome(done=now, cache_hit=hit, served_by_memory=not hit)
 
+        # Tag Serialization Latency: paid before any data access can issue.
+        breakdown = LatencyBreakdown({STAGE_TAG: float(self.config.sram_tag_latency)})
         if hit:
             loc = self._row_of(line_address)
             result = self.stacked.access(t_tag, loc, self.stacked.timings.line_burst)
+            self._attribute(breakdown, result, STAGE_DATA)
             self._record_read(hit=True, latency=result.done - now)
             return AccessOutcome(
-                done=result.done, cache_hit=True, served_by_memory=False
+                done=result.done,
+                cache_hit=True,
+                served_by_memory=False,
+                breakdown=breakdown,
             )
 
         mem = self._memory_read(t_tag, line_address)
+        self._attribute(breakdown, mem, STAGE_MEMORY)
         self._record_read(hit=False, latency=mem.done - now)
         self.schedule(mem.done, lambda t: self._fill(t, line_address))
-        return AccessOutcome(done=mem.done, cache_hit=False, served_by_memory=True)
+        return AccessOutcome(
+            done=mem.done,
+            cache_hit=False,
+            served_by_memory=True,
+            breakdown=breakdown,
+        )
 
     # ------------------------------------------------------------------
     def _fill(self, now: float, line_address: int) -> None:

@@ -36,7 +36,7 @@ import json
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -44,7 +44,19 @@ from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
 
 #: Bump when the cache file layout (not the simulated content) changes.
-CACHE_SCHEMA = 1
+#: 2: per-stage latency attribution fields on SimResult (ISSUE 2).
+CACHE_SCHEMA = 2
+
+
+def result_signature() -> Tuple[str, ...]:
+    """The sorted :class:`SimResult` field names.
+
+    Part of every cache key, so any change to the result shape — new
+    breakdown fields, renames — automatically invalidates stale
+    ``.repro_cache/`` entries instead of deserializing into wrong-shaped
+    results via ``from_dict``'s lenient unknown/missing-key handling.
+    """
+    return tuple(sorted(f.name for f in fields(SimResult)))
 
 #: Default on-disk cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
@@ -135,14 +147,16 @@ def cell_key(
 
     Includes every ``SystemConfig`` field (a partial key once caused stale
     baselines when sweeping ``mshrs_per_core``), ``warmup_fraction`` (the old
-    in-memory baseline cache omitted it — see ISSUE 1), and the package
-    version so model changes invalidate old entries.
+    in-memory baseline cache omitted it — see ISSUE 1), the package version
+    so model changes invalidate old entries, and the sorted ``SimResult``
+    field names (:func:`result_signature`) so result-shape changes do too.
     """
     from repro import __version__
 
     payload = {
         "schema": CACHE_SCHEMA,
         "version": __version__,
+        "result_fields": list(result_signature()),
         "design": design.lower(),
         "benchmark": benchmark,
         "seed": seed,

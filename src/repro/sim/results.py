@@ -40,6 +40,17 @@ class SimResult:
     hit_latency_p50: float = 0.0
     hit_latency_p95: float = 0.0
     read_latency_p95: float = 0.0
+    #: Per-stage latency attribution over all demand reads (the measured
+    #: Figure 3 decomposition): average cycles per read spent in each
+    #: lifecycle stage (queue/predictor/tag/data/memory). Every read
+    #: samples every stage, so the values sum to ``avg_read_latency``.
+    stage_latency_means: Dict[str, float] = field(default_factory=dict)
+    #: Per-stage p95 cycles (bucket-edge approximation; ``inf`` when the
+    #: 95th-percentile sample fell beyond the last bucket edge).
+    stage_latency_p95: Dict[str, float] = field(default_factory=dict)
+    #: Lifecycle audit: total absolute cycles the per-stage breakdowns
+    #: failed to attribute (0.0 when every read decomposed exactly).
+    unattributed_cycles: float = 0.0
     #: Discrete-event heap entries processed while producing this result
     #: (sweep telemetry; 0 for results predating the counter).
     heap_events: int = 0

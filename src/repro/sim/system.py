@@ -26,6 +26,7 @@ from repro.dram.device import DramDevice
 from repro.dram.energy import system_energy
 from repro.dramcache.base import DramCacheDesign
 from repro.dramcache.factory import make_design
+from repro.lifecycle import MemoryRequest
 from repro.sim.config import SystemConfig
 from repro.sim.core_model import Core, warmup_split
 from repro.sim.results import SimResult
@@ -154,13 +155,17 @@ class System:
         address, is_write, pc = core.next_record()
         if is_write:
             # Posted writeback: the design handles it off the critical path.
-            self.design.access(now, address, True, pc, core.core_id)
+            self.design.handle(
+                MemoryRequest(address, True, pc, core.core_id, now)
+            )
             completed = now + self.config.write_issue_cycles
         else:
             # Demand read: L3 lookup (a miss, by trace construction), then
             # the DRAM-cache design.
             arrival = now + self.config.l3_latency
-            outcome = self.design.access(arrival, address, False, pc, core.core_id)
+            outcome = self.design.handle(
+                MemoryRequest(address, False, pc, core.core_id, arrival)
+            )
             completed = max(outcome.done, arrival)
             if mshrs > 1:
                 core.outstanding.append(completed)
@@ -214,5 +219,8 @@ class System:
             hit_latency_p50=design.hit_latency_hist.percentile(0.50),
             hit_latency_p95=design.hit_latency_hist.percentile(0.95),
             read_latency_p95=design.read_latency_hist.percentile(0.95),
+            stage_latency_means=design.stage_means(),
+            stage_latency_p95=design.stage_p95s(),
+            unattributed_cycles=design.unattributed_cycles,
             heap_events=self.events_processed,
         )

@@ -8,8 +8,10 @@ from repro.analysis.latency import (
     fig3_table,
     ideal_lo_latency,
     lh_cache_latency,
+    measured_breakdown,
     sram_tag_latency,
 )
+from repro.lifecycle import STAGES
 
 
 class TestPaperNumbers:
@@ -84,3 +86,56 @@ class TestStructure:
 
     def test_alloy_hit_beats_memory_for_x(self):
         assert alloy_latency("X", hit=True, row_hit=True).total < baseline_latency("X").total
+
+
+class TestMeasuredBreakdown:
+    """Replaying Figure 3's isolated accesses through the *real* timing
+    designs must land on the analytic totals cycle-for-cycle — the analytic
+    model and the simulator are two derivations of the same machine."""
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        return measured_breakdown()
+
+    def test_same_rows_as_analytic_table(self, measured):
+        assert set(measured) == set(fig3_table())
+
+    def test_every_row_matches_analytic_total(self, measured):
+        mismatches = {
+            key: (row.total, row.analytic_total)
+            for key, row in measured.items()
+            if not row.matches_analytic
+        }
+        assert not mismatches
+
+    def test_stages_sum_to_total(self, measured):
+        for key, row in measured.items():
+            assert sum(row.stages.values()) == pytest.approx(row.total), key
+
+    def test_stages_use_lifecycle_taxonomy(self, measured):
+        for row in measured.values():
+            assert set(row.stages) <= set(STAGES)
+
+    def test_isolated_accesses_never_queue(self, measured):
+        for key, row in measured.items():
+            assert row.stages.get("queue", 0.0) == 0.0, key
+
+    def test_sram_tag_hit_decomposition(self, measured):
+        row = measured[("sram-tag", "X", "hit")]
+        assert row.stages == {"tag": 24.0, "data": 40.0}
+
+    def test_lh_hit_is_mostly_serialization(self, measured):
+        """Figure 3's point: of an LH-Cache hit's 96 cycles, only 22 move
+        data; the rest is predictor and tag serialization."""
+        row = measured[("lh-cache", "Y", "hit")]
+        assert row.stages["data"] == 22.0
+        assert row.stages["predictor"] + row.stages["tag"] == 74.0
+
+    def test_alloy_hit_is_pure_data(self, measured):
+        assert measured[("alloy", "X", "hit")].stages == {"data": 23.0}
+
+    def test_alloy_miss_hides_tag_probe(self, measured):
+        """A correctly-predicted Alloy miss overlaps the TAD probe with the
+        memory access: the exposed latency is all memory."""
+        row = measured[("alloy", "Y", "miss")]
+        assert row.stages == {"memory": 88.0}

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cache.replacement import LRUPolicy, RandomPolicy
-from repro.cache.set_assoc import Eviction, SetAssocCache
+from repro.cache.set_assoc import SetAssocCache
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.dram.device import DramDevice, PriorityTimeline
+from repro.dram.device import BACKGROUND_BACKLOG_OPS, DramDevice, PriorityTimeline
 from repro.dram.mapping import RowLocation
 from repro.dram.timings import OFFCHIP_DDR3, STACKED_DRAM
 
@@ -171,6 +171,127 @@ class TestAccessLine:
     def test_write_counted(self, memory):
         memory.access_line(0.0, 0, is_write=True)
         assert memory.stats.counter("write_accesses").value == 1
+
+
+def _assert_exact_decomposition(result, issued_at):
+    """The five stage fields must account for every cycle of the access."""
+    total = (
+        result.queue_delay
+        + result.act_cycles
+        + result.cas_cycles
+        + result.bus_queue_delay
+        + result.burst_cycles
+    )
+    assert total == pytest.approx(result.done - issued_at)
+
+
+class TestDecomposition:
+    """AccessResult's stage fields decompose ``done - now`` exactly."""
+
+    def test_isolated_row_miss(self, memory):
+        result = memory.access(0.0, LOC)
+        assert result.act_cycles == OFFCHIP_DDR3.t_act
+        assert result.cas_cycles == OFFCHIP_DDR3.t_cas
+        assert result.burst_cycles == OFFCHIP_DDR3.line_burst
+        assert result.queue_delay == 0
+        assert result.bus_queue_delay == 0
+        _assert_exact_decomposition(result, 0.0)
+
+    def test_row_hit_has_no_act(self, memory):
+        memory.access(0.0, LOC)
+        result = memory.access(1000.0, LOC)
+        assert result.act_cycles == 0
+        _assert_exact_decomposition(result, 1000.0)
+
+    def test_row_conflict_includes_precharge(self, stacked):
+        stacked.access(0.0, LOC)
+        result = stacked.access(1000.0, OTHER_ROW)
+        assert result.act_cycles == STACKED_DRAM.t_rp + STACKED_DRAM.t_act
+        _assert_exact_decomposition(result, 1000.0)
+
+    def test_bus_wait_attributed_not_dropped(self, stacked):
+        # Two banks on one channel: the second access's data is ready while
+        # the first still owns the bus, so it waits — and the wait must show
+        # up in bus_queue_delay rather than vanish.
+        stacked.access(0.0, LOC)
+        second = stacked.access(0.0, OTHER_BANK)
+        assert second.bus_queue_delay > 0
+        _assert_exact_decomposition(second, 0.0)
+
+    def test_bus_queue_stats_recorded(self, stacked):
+        stacked.access(0.0, LOC)
+        second = stacked.access(0.0, OTHER_BANK)
+        acc = stacked.stats.accumulator("bus_queue_delay")
+        assert acc.total == pytest.approx(second.bus_queue_delay)
+        demand = stacked.stats.accumulator("demand_bus_queue_delay")
+        assert demand.total == pytest.approx(second.bus_queue_delay)
+
+    def test_decomposes_under_sustained_contention(self, stacked):
+        for i in range(25):
+            issued = float(i)
+            result = stacked.access(issued, LOC)
+            _assert_exact_decomposition(result, issued)
+
+    def test_breakdown_device_stages(self, stacked):
+        result = stacked.access(0.0, LOC)
+        breakdown = result.breakdown()
+        assert breakdown.total == pytest.approx(result.done)
+        assert breakdown.get("act") == result.act_cycles
+        assert breakdown.get("cas") == result.cas_cycles
+        assert breakdown.get("burst") == result.burst_cycles
+
+
+class TestClosedPagePolicy:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            DramDevice(STACKED_DRAM, page_policy="adaptive")
+
+    def test_row_closed_after_access(self):
+        device = DramDevice(STACKED_DRAM, page_policy="closed")
+        device.access(0.0, LOC)
+        assert device.open_row_at(LOC) is None
+
+    def test_every_access_pays_activation(self):
+        device = DramDevice(STACKED_DRAM, page_policy="closed")
+        device.access(0.0, LOC)
+        second = device.access(1000.0, LOC)
+        assert not second.row_hit
+        assert second.act_cycles == STACKED_DRAM.t_act
+        assert second.done - 1000.0 == 40  # ACT + CAS + burst, never 22
+
+    def test_no_conflict_precharge_penalty(self):
+        # The auto-precharge already closed the row: switching rows costs
+        # t_act, not the open-policy conflict price t_rp + t_act.
+        device = DramDevice(STACKED_DRAM, page_policy="closed")
+        device.access(0.0, LOC)
+        result = device.access(1000.0, OTHER_ROW)
+        assert result.act_cycles == STACKED_DRAM.t_act
+
+
+class TestWriteDrainWatermark:
+    def test_backlog_below_watermark_blocks_one_burst_only(self, stacked):
+        block_cap = STACKED_DRAM.t_cas + STACKED_DRAM.line_burst
+        watermark = BACKGROUND_BACKLOG_OPS * block_cap
+        for _ in range(BACKGROUND_BACKLOG_OPS - 1):
+            stacked.access(0.0, LOC, background=True)
+        backlog = stacked.bank_backlog(LOC, 0.0)
+        assert backlog <= watermark
+        demand = stacked.access(0.0, LOC)
+        assert demand.queue_delay == pytest.approx(block_cap)
+
+    def test_backlog_beyond_watermark_forces_drain(self, stacked):
+        block_cap = STACKED_DRAM.t_cas + STACKED_DRAM.line_burst
+        watermark = BACKGROUND_BACKLOG_OPS * block_cap
+        for _ in range(5 * BACKGROUND_BACKLOG_OPS):
+            stacked.access(0.0, LOC, background=True)
+        backlog = stacked.bank_backlog(LOC, 0.0)
+        assert backlog > watermark
+        demand = stacked.access(0.0, LOC)
+        # One unpreemptable burst plus the excess beyond the write buffer.
+        assert demand.queue_delay == pytest.approx(
+            block_cap + (backlog - watermark)
+        )
+        _assert_exact_decomposition(demand, 0.0)
 
 
 class TestUtilities:

@@ -1,7 +1,5 @@
 """Tests for the reproduction scorecard (criterion logic, cheap paths)."""
 
-import pytest
-
 from repro.experiments.report import ExperimentResult
 from repro.experiments.scorecard import (
     CRITERIA,

@@ -118,6 +118,6 @@ class TestMlpExecution:
     def test_all_records_processed_under_mlp(self):
         wl = independent_reads(n=20)
         system = System(config_with(4), "no-cache", wl, warmup_fraction=0.0)
-        result = system.run()
+        system.run()
         assert system.design.stats.counter("read_misses").value == 20
         assert not system._heap

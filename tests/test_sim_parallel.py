@@ -166,6 +166,63 @@ class TestPersistentCache:
         )
 
 
+class TestResultSchema:
+    """SimResult's on-disk shape: round-trips exactly, and changing the
+    shape (or the schema version) invalidates every cached entry."""
+
+    def test_json_round_trip_bit_identical(self, cache):
+        cell = tiny_cells()[0]
+        direct = run_sweep([cell], max_workers=1, cache=cache).cells[0].result
+        wire = json.loads(json.dumps(direct.to_dict()))
+        assert dataclasses.asdict(SimResult.from_dict(wire)) == (
+            dataclasses.asdict(direct)
+        )
+
+    def test_stage_fields_survive_cache(self, cache):
+        cell = SweepCell(
+            "alloy-map-i", "sphinx_r", tiny_config(), reads_per_core=300
+        )
+        direct = run_sweep([cell], max_workers=1, cache=cache).cells[0].result
+        cached = ResultCache(cache.directory, persist=True).get(cell.key())
+        assert direct.stage_latency_means  # populated, not defaulted
+        assert cached.stage_latency_means == direct.stage_latency_means
+        assert cached.stage_latency_p95 == direct.stage_latency_p95
+        assert cached.unattributed_cycles == direct.unattributed_cycles == 0.0
+
+    def test_from_dict_defaults_missing_stage_fields(self):
+        """Entries written before the lifecycle fields existed still load."""
+        legacy = SimResult.from_dict(
+            {"workload": "w", "design": "d", "cycles": 1.0}
+        )
+        assert legacy.stage_latency_means == {}
+        assert legacy.stage_latency_p95 == {}
+        assert legacy.unattributed_cycles == 0.0
+
+    def test_result_shape_participates_in_key(self, monkeypatch):
+        """Adding/removing a SimResult field must change every cell key, so
+        stale cache entries can never satisfy a sweep expecting new fields."""
+        import repro.sim.parallel as parallel
+
+        config = tiny_config()
+        reference = cell_key("alloy-map-i", "mcf_r", config, 300, 0.25, 1)
+        monkeypatch.setattr(
+            parallel, "result_signature", lambda: ("some_other_shape",)
+        )
+        assert cell_key("alloy-map-i", "mcf_r", config, 300, 0.25, 1) != (
+            reference
+        )
+
+    def test_schema_version_participates_in_key(self, monkeypatch):
+        import repro.sim.parallel as parallel
+
+        config = tiny_config()
+        reference = cell_key("alloy-map-i", "mcf_r", config, 300, 0.25, 1)
+        monkeypatch.setattr(parallel, "CACHE_SCHEMA", parallel.CACHE_SCHEMA + 1)
+        assert cell_key("alloy-map-i", "mcf_r", config, 300, 0.25, 1) != (
+            reference
+        )
+
+
 class TestTelemetry:
     def test_cells_report_events_and_wall(self, cache):
         report = run_sweep(tiny_cells(), max_workers=1, cache=cache)

@@ -170,3 +170,47 @@ class TestSimResultDerived:
         result = run_design("alloy-map-i", looping_workload(), tiny_config())
         fractions = result.scenario_fractions()
         assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+class TestLifecycleStages:
+    """Full-system per-stage attribution: no cycle ever goes missing."""
+
+    DESIGNS = ("no-cache", "sram-tag", "lh-cache", "ideal-lo", "alloy-map-i")
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_stage_means_sum_to_read_latency(self, design):
+        result = System(
+            tiny_config(), design, looping_workload(n=120, span=40)
+        ).run()
+        assert result.stage_latency_means  # populated for every design
+        assert sum(result.stage_latency_means.values()) == pytest.approx(
+            result.avg_read_latency
+        )
+
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_no_unattributed_cycles(self, design):
+        result = System(
+            tiny_config(), design, looping_workload(n=120, span=40)
+        ).run()
+        assert result.unattributed_cycles == 0.0
+
+    def test_canonical_stage_keys(self):
+        from repro.lifecycle import STAGES
+
+        result = System(tiny_config(), "alloy-map-i", looping_workload()).run()
+        assert set(result.stage_latency_means) == set(STAGES)
+        assert set(result.stage_latency_p95) == set(STAGES)
+
+    def test_sram_tag_pays_tag_serialization_on_every_read(self):
+        result = System(tiny_config(), "sram-tag", looping_workload()).run()
+        assert result.stage_latency_means["tag"] == pytest.approx(24.0)
+
+    def test_no_cache_is_all_memory_and_queue(self):
+        result = System(
+            tiny_config(), "no-cache", looping_workload(), warmup_fraction=0.0
+        ).run()
+        means = result.stage_latency_means
+        assert means["predictor"] == 0.0
+        assert means["tag"] == 0.0
+        assert means["data"] == 0.0
+        assert means["memory"] > 0.0

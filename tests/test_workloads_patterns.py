@@ -104,7 +104,6 @@ class TestMixtures:
             gap_mean_cycles=10.0,
         )
         trace = generate_core_trace(cfg, 20_000, seed=1)
-        hot_region_lines = 1 * MB // 256 // 64
         seq_lines = 64 * MB // 256 // 64
         hot_fraction = float(np.mean(trace.addresses >= seq_lines))
         assert 0.35 < hot_fraction < 0.65
