@@ -1,20 +1,22 @@
-"""Functional direct-mapped cache backed by numpy arrays.
+"""Functional direct-mapped cache.
 
 The Alloy Cache is direct-mapped with a non-power-of-two set count
 (28 TADs per 2 KB row), so the set index is ``line_address % num_sets``
 (Section 4.1 sketches the cheap residue-arithmetic modulo circuit). A
 direct-mapped array has no replacement state, which is exactly why the
 paper's design avoids replacement-update traffic.
+
+Tags and dirty bits live in plain Python lists: the simulator touches one
+element per access, and per-element numpy indexing (scalar boxing plus
+``np.bool_`` comparisons) costs several times a list index on that path.
 """
 
 from __future__ import annotations
 
-from typing import List
-
-import numpy as np
+from typing import List, Optional
 
 from repro.cache.set_assoc import Eviction
-from repro.stats import StatGroup
+from repro.stats import Counter, StatGroup
 
 
 class DirectMappedCache:
@@ -25,9 +27,13 @@ class DirectMappedCache:
             raise ValueError("num_sets must be positive")
         self.num_sets = num_sets
         self.name = name
-        self._tags = np.full(num_sets, -1, dtype=np.int64)
-        self._dirty = np.zeros(num_sets, dtype=bool)
+        self._tags: List[int] = [-1] * num_sets
+        self._dirty: List[bool] = [False] * num_sets
         self.stats = StatGroup(name)
+        # Lazily-bound counter handles for the per-access hot path.
+        self._c_hits: Optional[Counter] = None
+        self._c_misses: Optional[Counter] = None
+        self._c_fills: Optional[Counter] = None
 
     # ------------------------------------------------------------------
     def set_index(self, line_address: int) -> int:
@@ -41,34 +47,43 @@ class DirectMappedCache:
     # ------------------------------------------------------------------
     def probe(self, line_address: int) -> bool:
         """Check presence without touching statistics."""
-        return bool(self._tags[self.set_index(line_address)] == line_address)
+        return self._tags[line_address % self.num_sets] == line_address
 
     def lookup(self, line_address: int, is_write: bool = False) -> bool:
         """Access the cache; a write hit marks the line dirty."""
-        index = self.set_index(line_address)
+        index = line_address % self.num_sets
         if self._tags[index] == line_address:
             if is_write:
                 self._dirty[index] = True
-            self.stats.counter("hits").add()
+            c = self._c_hits
+            if c is None:
+                c = self._c_hits = self.stats.counter("hits")
+            c.value += 1
             return True
-        self.stats.counter("misses").add()
+        c = self._c_misses
+        if c is None:
+            c = self._c_misses = self.stats.counter("misses")
+        c.value += 1
         return False
 
     def fill(self, line_address: int, dirty: bool = False) -> Eviction:
         """Insert a line, returning the displaced victim (if any)."""
-        index = self.set_index(line_address)
-        old_tag = int(self._tags[index])
+        index = line_address % self.num_sets
+        old_tag = self._tags[index]
         if old_tag == line_address:
             self._dirty[index] = self._dirty[index] or dirty
             return Eviction(valid=False)
         evicted = (
-            Eviction(valid=True, line_address=old_tag, dirty=bool(self._dirty[index]))
+            Eviction(valid=True, line_address=old_tag, dirty=self._dirty[index])
             if old_tag != -1
             else Eviction(valid=False)
         )
         self._tags[index] = line_address
         self._dirty[index] = dirty
-        self.stats.counter("fills").add()
+        c = self._c_fills
+        if c is None:
+            c = self._c_fills = self.stats.counter("fills")
+        c.value += 1
         if evicted.valid:
             self.stats.counter("evictions").add()
             if evicted.dirty:
@@ -77,7 +92,7 @@ class DirectMappedCache:
 
     def invalidate(self, line_address: int) -> bool:
         """Remove a line if present; returns whether it was present."""
-        index = self.set_index(line_address)
+        index = line_address % self.num_sets
         if self._tags[index] == line_address:
             self._tags[index] = -1
             self._dirty[index] = False
@@ -86,17 +101,18 @@ class DirectMappedCache:
 
     def is_dirty(self, line_address: int) -> bool:
         """True if the line is present and dirty."""
-        index = self.set_index(line_address)
-        return bool(self._tags[index] == line_address and self._dirty[index])
+        index = line_address % self.num_sets
+        return self._tags[index] == line_address and self._dirty[index]
 
     # ------------------------------------------------------------------
     def occupancy(self) -> float:
         """Fraction of sets holding valid lines."""
-        return float(np.count_nonzero(self._tags != -1)) / self.num_sets
+        valid = self.num_sets - self._tags.count(-1)
+        return valid / self.num_sets
 
     def resident_lines(self) -> List[int]:
         """All line addresses currently cached (test/debug helper)."""
-        return [int(t) for t in self._tags[self._tags != -1]]
+        return [t for t in self._tags if t != -1]
 
     @property
     def hit_rate(self) -> float:

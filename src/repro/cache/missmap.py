@@ -34,6 +34,10 @@ class MissMap:
         self._present: Set[int] = set()
         self._segment_population: Dict[int, int] = {}
         self.stats = StatGroup(name)
+        # Lazily-bound counter handles for the per-lookup hot path.
+        self._c_lookups = None
+        self._c_pred_hits = None
+        self._c_pred_misses = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -42,9 +46,20 @@ class MissMap:
 
     def contains(self, line_address: int) -> bool:
         """Query presence (costs one L3 access in the timing layer)."""
-        self.stats.counter("lookups").add()
+        c = self._c_lookups
+        if c is None:
+            c = self._c_lookups = self.stats.counter("lookups")
+        c.value += 1
         present = line_address in self._present
-        self.stats.counter("predicted_hits" if present else "predicted_misses").add()
+        if present:
+            c = self._c_pred_hits
+            if c is None:
+                c = self._c_pred_hits = self.stats.counter("predicted_hits")
+        else:
+            c = self._c_pred_misses
+            if c is None:
+                c = self._c_pred_misses = self.stats.counter("predicted_misses")
+        c.value += 1
         return present
 
     def insert(self, line_address: int) -> None:

@@ -25,14 +25,22 @@ class Eviction:
 
 
 class _Set:
-    """One cache set: parallel tag/valid/dirty arrays plus policy state."""
+    """One cache set: parallel tag/valid/dirty arrays plus policy state.
 
-    __slots__ = ("tags", "dirty", "policy_state")
+    ``index_map`` mirrors ``tags`` as line_address -> way so the hot
+    lookup path is a dict probe instead of a 29-entry linear scan (the
+    LH-Cache's associativity makes ``list.index`` a measurable cost).
+    The tags list stays authoritative for introspection and empty-way
+    selection; every mutation updates both.
+    """
+
+    __slots__ = ("tags", "dirty", "policy_state", "index_map")
 
     def __init__(self, ways: int, policy: ReplacementPolicy) -> None:
         self.tags: List[int] = [-1] * ways
         self.dirty: List[bool] = [False] * ways
         self.policy_state = policy.make_state(ways)
+        self.index_map: dict = {}
 
 
 class SetAssocCache:
@@ -57,6 +65,10 @@ class SetAssocCache:
         self.name = name
         self._sets: List[_Set] = [_Set(ways, self.policy) for _ in range(num_sets)]
         self.stats = StatGroup(name)
+        # Lazily-bound counter handles for the per-access hot path.
+        self._c_hits = None
+        self._c_misses = None
+        self._c_fills = None
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -75,7 +87,7 @@ class SetAssocCache:
     def probe(self, line_address: int) -> bool:
         """Check presence without updating any replacement state."""
         cset = self._sets[self.set_index(line_address)]
-        return line_address in cset.tags
+        return line_address in cset.index_map
 
     def lookup(self, line_address: int, is_write: bool = False) -> bool:
         """Access the cache: returns hit/miss and updates replacement state.
@@ -83,18 +95,23 @@ class SetAssocCache:
         A write hit marks the line dirty. A miss only trains the policy
         (set-dueling counters); the caller decides whether to fill.
         """
-        index = self.set_index(line_address)
+        index = line_address % self.num_sets
         cset = self._sets[index]
-        try:
-            way = cset.tags.index(line_address)
-        except ValueError:
-            self.stats.counter("misses").add()
+        way = cset.index_map.get(line_address)
+        if way is None:
+            c = self._c_misses
+            if c is None:
+                c = self._c_misses = self.stats.counter("misses")
+            c.value += 1
             self.policy.on_miss(index)
             return False
         self.policy.on_hit(cset.policy_state, way, index)
         if is_write:
             cset.dirty[way] = True
-        self.stats.counter("hits").add()
+        c = self._c_hits
+        if c is None:
+            c = self._c_hits = self.stats.counter("hits")
+        c.value += 1
         return True
 
     def fill(self, line_address: int, dirty: bool = False) -> Eviction:
@@ -104,28 +121,34 @@ class SetAssocCache:
         dirty writeback. Filling a line that is already present refreshes
         its replacement state instead of duplicating it.
         """
-        index = self.set_index(line_address)
+        index = line_address % self.num_sets
         cset = self._sets[index]
-        if line_address in cset.tags:
-            way = cset.tags.index(line_address)
+        tags = cset.tags
+        way = cset.index_map.get(line_address)
+        if way is not None:
             cset.dirty[way] = cset.dirty[way] or dirty
             self.policy.on_insert(cset.policy_state, way, index)
             return Eviction(valid=False)
 
-        if -1 in cset.tags:
-            way = cset.tags.index(-1)
+        if -1 in tags:
+            way = tags.index(-1)
             evicted = Eviction(valid=False)
         else:
             way = self.policy.victim_way(cset.policy_state, index)
             evicted = Eviction(
                 valid=True,
-                line_address=cset.tags[way],
+                line_address=tags[way],
                 dirty=cset.dirty[way],
             )
-        cset.tags[way] = line_address
+            del cset.index_map[tags[way]]
+        tags[way] = line_address
+        cset.index_map[line_address] = way
         cset.dirty[way] = dirty
         self.policy.on_insert(cset.policy_state, way, index)
-        self.stats.counter("fills").add()
+        c = self._c_fills
+        if c is None:
+            c = self._c_fills = self.stats.counter("fills")
+        c.value += 1
         if evicted.valid:
             self.stats.counter("evictions").add()
             if evicted.dirty:
@@ -135,9 +158,8 @@ class SetAssocCache:
     def invalidate(self, line_address: int) -> bool:
         """Remove a line if present; returns whether it was present."""
         cset = self._sets[self.set_index(line_address)]
-        try:
-            way = cset.tags.index(line_address)
-        except ValueError:
+        way = cset.index_map.pop(line_address, None)
+        if way is None:
             return False
         cset.tags[way] = -1
         cset.dirty[way] = False
@@ -146,9 +168,8 @@ class SetAssocCache:
     def is_dirty(self, line_address: int) -> bool:
         """True if the line is present and dirty."""
         cset = self._sets[self.set_index(line_address)]
-        try:
-            way = cset.tags.index(line_address)
-        except ValueError:
+        way = cset.index_map.get(line_address)
+        if way is None:
             return False
         return cset.dirty[way]
 

@@ -131,7 +131,258 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         default="no-cache",
         help="design speedups are normalized against (default no-cache)",
     )
+    parser.add_argument(
+        "--expect-cache-hits",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "exit nonzero unless exactly N cells were served from the "
+            "persistent result cache (CI smoke assertion)"
+        ),
+    )
     return parser
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description=(
+            "Time a pinned (design x benchmark x reads) grid, report "
+            "events/sec and wall seconds per cell (warmup-discarded "
+            "medians), and emit a schema-versioned BENCH_<date>.json"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="time only the quick subset of the pinned grid (CI smoke)",
+    )
+    parser.add_argument(
+        "--designs",
+        default=None,
+        help="comma-separated design names overriding the pinned grid",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated benchmark names overriding the pinned grid",
+    )
+    parser.add_argument(
+        "--reads",
+        type=int,
+        default=None,
+        metavar="N",
+        help="trace reads per core (default: the pinned grid's 2000)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="kept timing repeats per cell (default 3; --quick default 2)",
+    )
+    parser.add_argument(
+        "--discard",
+        type=int,
+        default=1,
+        metavar="N",
+        help="leading warmup repeats to discard per cell (default 1)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="output JSON path (default BENCH_<date>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print the table only; do not write a BENCH_*.json",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help=(
+            "baseline BENCH_*.json to compare against (embedded into the "
+            "emitted payload); default with --check: newest BENCH_*.json "
+            "in the cwd"
+        ),
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "gate against the baseline: exit nonzero when any shared "
+            "cell regresses beyond the tolerance band"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        metavar="F",
+        help="allowed fractional events/sec regression (default 0.30)",
+    )
+    parser.add_argument(
+        "--label",
+        default="",
+        help="free-form label recorded in the payload (e.g. a commit id)",
+    )
+    return parser
+
+
+def build_golden_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro golden",
+        description=(
+            "Golden-results scorecard: the cycle-exact Figure 3 replay "
+            "plus a pinned simulation grid, captured as canonical JSON "
+            "(tests/goldens/scorecard.json)"
+        ),
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="re-simulate and diff against the committed golden file",
+    )
+    mode.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the golden file from the current code",
+    )
+    parser.add_argument(
+        "--path",
+        metavar="PATH",
+        help="golden file location (default tests/goldens/scorecard.json)",
+    )
+    return parser
+
+
+def _bench_main(argv: List[str]) -> int:
+    from pathlib import Path
+
+    from repro.dramcache.factory import DESIGN_NAMES
+    from repro.perf import bench as perf_bench
+    from repro.workloads.spec import get_benchmark
+
+    args = build_bench_parser().parse_args(argv)
+    designs = list(
+        perf_bench.QUICK_DESIGNS if args.quick else perf_bench.DEFAULT_DESIGNS
+    )
+    benchmarks = list(
+        perf_bench.QUICK_BENCHMARKS
+        if args.quick
+        else perf_bench.DEFAULT_BENCHMARKS
+    )
+    if args.designs:
+        designs = [
+            _DESIGN_ALIASES.get(name.strip().lower(), name.strip().lower())
+            for name in args.designs.split(",")
+            if name.strip()
+        ]
+        unknown = [d for d in designs if d not in DESIGN_NAMES]
+        if unknown:
+            print(f"unknown designs: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    if args.benchmarks:
+        try:
+            benchmarks = [
+                get_benchmark(name.strip()).name
+                for name in args.benchmarks.split(",")
+                if name.strip()
+            ]
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+
+    repeats = args.repeats
+    if repeats is None:
+        repeats = 2 if args.quick else perf_bench.DEFAULT_REPEATS
+    cells = perf_bench.make_bench_grid(
+        designs,
+        benchmarks,
+        reads_per_core=args.reads or perf_bench.DEFAULT_READS,
+    )
+
+    def progress(timing):
+        print(
+            f"  {timing.cell.cell_id:<44} "
+            f"{timing.events_per_sec:>10.0f} ev/s "
+            f"({timing.wall_median:.3f}s median)",
+            flush=True,
+        )
+
+    print(f"timing {len(cells)} cells ({repeats} repeats each):")
+    run = perf_bench.run_bench(
+        cells, repeats=repeats, discard=args.discard, progress=progress
+    )
+    print()
+    print(run.render())
+    payload = run.to_payload(label=args.label)
+
+    status = 0
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if baseline_path is None and args.check:
+        baseline_path = perf_bench.latest_bench_file(Path("."))
+        if baseline_path is None:
+            print(
+                "bench --check: no BENCH_*.json baseline found in the cwd",
+                file=sys.stderr,
+            )
+            return 2
+    if baseline_path is not None:
+        try:
+            baseline = perf_bench.load_bench(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"bench: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
+        comparison = perf_bench.compare(
+            payload, baseline, tolerance=args.tolerance
+        )
+        comparison["baseline_path"] = str(baseline_path)
+        payload["comparison"] = comparison
+        print()
+        print(perf_bench.render_comparison(comparison))
+        if args.check and comparison["verdict"] != "pass":
+            print(
+                f"bench --check: verdict {comparison['verdict']} "
+                f"(regressions: {', '.join(comparison['regressions']) or 'n/a'})",
+                file=sys.stderr,
+            )
+            status = 1
+
+    if not args.no_write:
+        out = Path(args.out) if args.out else perf_bench.default_bench_path()
+        perf_bench.write_bench(payload, out)
+        print(f"\nwrote {out}")
+    return status
+
+
+def _golden_main(argv: List[str]) -> int:
+    from pathlib import Path
+
+    from repro.perf import golden as perf_golden
+
+    args = build_golden_parser().parse_args(argv)
+    path = (
+        Path(args.path) if args.path else perf_golden.DEFAULT_GOLDEN_PATH
+    )
+    if args.write:
+        payload = perf_golden.write_golden(path)
+        print(
+            f"wrote {path} ({len(payload['grid'])} grid cells, "
+            f"{len(payload['fig3'])} fig3 rows)"
+        )
+        return 0
+    diffs = perf_golden.check_golden(path)
+    if diffs:
+        print(f"golden scorecard drift vs {path}:", file=sys.stderr)
+        for diff in diffs:
+            print(f"  {diff}", file=sys.stderr)
+        return 1
+    print(f"golden scorecard intact ({path})")
+    return 0
 
 
 def build_breakdown_parser() -> argparse.ArgumentParser:
@@ -380,6 +631,17 @@ def _sweep_main(argv: List[str]) -> int:
         except ValueError:
             gmeans.append(f"{'n/a':>16}")
     print(f"{'gmean':<12}" + "".join(gmeans))
+    if (
+        args.expect_cache_hits is not None
+        and report.cache_hits != args.expect_cache_hits
+    ):
+        print(
+            f"expected exactly {args.expect_cache_hits} cache hits, "
+            f"got {report.cache_hits} "
+            f"({report.cache_misses} miss)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -389,6 +651,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _sweep_main(argv[1:])
     if argv and argv[0] == "breakdown":
         return _breakdown_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
+    if argv and argv[0] == "golden":
+        return _golden_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
@@ -398,7 +664,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "\nother verbs:\n"
             "  sweep (see 'repro sweep --help')\n"
-            "  breakdown (see 'repro breakdown --help')"
+            "  breakdown (see 'repro breakdown --help')\n"
+            "  bench (see 'repro bench --help')\n"
+            "  golden (see 'repro golden --help')"
         )
         return 0
 

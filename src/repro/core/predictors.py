@@ -160,9 +160,17 @@ class MapIPredictor(MemoryAccessPredictor):
         self._mact: List[List[int]] = [
             [MAC_MSB_THRESHOLD] * entries for _ in range(num_cores)
         ]
+        # PC -> MACT index memo: predict() and update() both hash the same
+        # small working set of miss PCs, so the fold is computed once per
+        # distinct PC instead of twice per read.
+        self._index_memo: dict = {}
 
     def _index(self, pc: int) -> int:
-        return folded_xor(pc, self._index_bits)
+        memo = self._index_memo
+        index = memo.get(pc)
+        if index is None:
+            index = memo[pc] = folded_xor(pc, self._index_bits)
+        return index
 
     def predict(self, core_id: int, pc: int) -> bool:
         mac = self._mact[core_id][self._index(pc)]

@@ -23,17 +23,25 @@ This keeps the two properties the paper's analysis needs:
 2. Bandwidth-hungry designs (the LH-Cache's ~4x per-hit traffic,
    Section 2.5) build background backlogs that throttle their own demand
    accesses, while lean designs' reads barely notice their write traffic.
+
+Implementation note: ``access()`` is the hottest function in the whole
+simulator (every simulated read triggers 1-5 device accesses), so it
+trades a little readability for speed — the timeline reservation
+arithmetic is inlined (kept expression-for-expression identical to
+:meth:`PriorityTimeline.reserve`, which remains the reference
+implementation), integer counters are batched into plain attributes and
+flushed through the :attr:`DramDevice.stats` property, and the timing
+constants are precomputed once per device.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.dram.mapping import AddressMapping, RowLocation
 from repro.dram.timings import DramTimings
 from repro.lifecycle import LatencyBreakdown
-from repro.stats import StatGroup
+from repro.stats import Accumulator, StatGroup
 from repro.units import LINE_SIZE
 
 #: Background operations that may queue per resource before demand accesses
@@ -41,7 +49,6 @@ from repro.units import LINE_SIZE
 BACKGROUND_BACKLOG_OPS = 8
 
 
-@dataclass(frozen=True)
 class AccessResult:
     """Outcome of one DRAM access.
 
@@ -63,15 +70,67 @@ class AccessResult:
     burst_cycles == done - issue time`` (see :meth:`breakdown`).
     """
 
-    start: float
-    data_ready: float
-    done: float
-    row_hit: bool
-    queue_delay: float
-    bus_queue_delay: float = 0.0
-    act_cycles: float = 0.0
-    cas_cycles: float = 0.0
-    burst_cycles: float = 0.0
+    __slots__ = (
+        "start",
+        "data_ready",
+        "done",
+        "row_hit",
+        "queue_delay",
+        "bus_queue_delay",
+        "act_cycles",
+        "cas_cycles",
+        "burst_cycles",
+    )
+
+    def __init__(
+        self,
+        start: float,
+        data_ready: float,
+        done: float,
+        row_hit: bool,
+        queue_delay: float,
+        bus_queue_delay: float = 0.0,
+        act_cycles: float = 0.0,
+        cas_cycles: float = 0.0,
+        burst_cycles: float = 0.0,
+    ) -> None:
+        self.start = start
+        self.data_ready = data_ready
+        self.done = done
+        self.row_hit = row_hit
+        self.queue_delay = queue_delay
+        self.bus_queue_delay = bus_queue_delay
+        self.act_cycles = act_cycles
+        self.cas_cycles = cas_cycles
+        self.burst_cycles = burst_cycles
+
+    def _astuple(self):
+        return (
+            self.start,
+            self.data_ready,
+            self.done,
+            self.row_hit,
+            self.queue_delay,
+            self.bus_queue_delay,
+            self.act_cycles,
+            self.cas_cycles,
+            self.burst_cycles,
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AccessResult):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            "AccessResult(start={}, data_ready={}, done={}, row_hit={}, "
+            "queue_delay={}, bus_queue_delay={}, act_cycles={}, "
+            "cas_cycles={}, burst_cycles={})".format(*self._astuple())
+        )
 
     def breakdown(self) -> LatencyBreakdown:
         """Device-level stage decomposition of this access.
@@ -93,7 +152,12 @@ class AccessResult:
 
 
 class PriorityTimeline:
-    """A reservable resource with demand/background priority classes."""
+    """A reservable resource with demand/background priority classes.
+
+    ``DramDevice.access`` inlines this arithmetic for speed; this class is
+    the reference implementation (and what unit tests exercise directly).
+    Any behavioral change here must be mirrored in the inlined copy.
+    """
 
     __slots__ = ("demand_free", "all_free")
 
@@ -126,6 +190,10 @@ class PriorityTimeline:
         """Outstanding (mostly background) occupancy beyond ``now``."""
         return max(0.0, self.all_free - now)
 
+    def reset(self) -> None:
+        self.demand_free = 0.0
+        self.all_free = 0.0
+
 
 class DramDevice:
     """One DRAM device (off-chip memory or the stacked cache array).
@@ -157,7 +225,91 @@ class DramDevice:
         self._buses: List[PriorityTimeline] = [
             PriorityTimeline() for _ in range(timings.channels)
         ]
-        self.stats = StatGroup(self.name)
+        self._stats = StatGroup(self.name)
+        # --- hot-path precomputation -----------------------------------
+        self._open_policy = page_policy == "open"
+        self._banks_per_channel = timings.banks_per_channel
+        self._t_cas = timings.t_cas
+        self._t_act = timings.t_act
+        self._act_conflict = timings.t_rp + timings.t_act
+        self._cas_f = float(timings.t_cas)
+        self._line_burst = timings.line_burst
+        self._block_cap_value = timings.t_cas + timings.line_burst
+        self._watermark_value = BACKGROUND_BACKLOG_OPS * self._block_cap_value
+        # Bytes for a full-line burst; int(burst * LINE_SIZE / line_burst)
+        # is exact for burst == line_burst, so the fast path is identical.
+        self._full_line_bytes = int(
+            timings.line_burst * LINE_SIZE / timings.line_burst
+        )
+        # One tuple holding every per-access constant: a single attribute
+        # load + unpack at the top of ``access`` instead of eight loads.
+        self._hot = (
+            self._t_act,
+            self._act_conflict,
+            self._t_cas,
+            self._cas_f,
+            self._line_burst,
+            self._block_cap_value,
+            self._watermark_value,
+            self._full_line_bytes,
+            float(self._t_act),
+            float(self._act_conflict),
+            float(timings.line_burst),
+        )
+        # Batched integer counters, flushed by the ``stats`` property.
+        # Exact: integer addition is associative, so flush order does not
+        # change the totals the way float batching would.
+        self._n_accesses = 0
+        self._n_row_hits = 0
+        self._n_reads = 0
+        self._n_writes = 0
+        self._n_background = 0
+        self._n_bus_cycles = 0
+        self._n_activations = 0
+        self._n_bytes = 0
+        # Accumulators keep per-sample op order (float sums must not be
+        # batched or reassociated); the refs are bound lazily so the stat
+        # group's key set matches the unoptimized lazy-creation behavior.
+        self._acc_queue: Optional[Accumulator] = None
+        self._acc_bus_queue: Optional[Accumulator] = None
+        self._acc_demand_queue: Optional[Accumulator] = None
+        self._acc_demand_bus_queue: Optional[Accumulator] = None
+        self._acc_latency: Optional[Accumulator] = None
+
+    @property
+    def stats(self) -> StatGroup:
+        """The device stat group, with any batched hot-path deltas flushed.
+
+        The zero-delta guards preserve lazy counter creation: a counter
+        appears in the group only once it has actually been incremented,
+        exactly as with direct ``counter(name).add()`` calls.
+        """
+        group = self._stats
+        if self._n_accesses:
+            group.counter("accesses").value += self._n_accesses
+            self._n_accesses = 0
+        if self._n_row_hits:
+            group.counter("row_hits").value += self._n_row_hits
+            self._n_row_hits = 0
+        if self._n_reads:
+            group.counter("read_accesses").value += self._n_reads
+            self._n_reads = 0
+        if self._n_writes:
+            group.counter("write_accesses").value += self._n_writes
+            self._n_writes = 0
+        if self._n_background:
+            group.counter("background_accesses").value += self._n_background
+            self._n_background = 0
+        if self._n_bus_cycles:
+            group.counter("bus_cycles").value += self._n_bus_cycles
+            self._n_bus_cycles = 0
+        if self._n_activations:
+            group.counter("activations").value += self._n_activations
+            self._n_activations = 0
+        if self._n_bytes:
+            group.counter("bytes_on_bus").value += self._n_bytes
+            self._n_bytes = 0
+        return group
 
     # ------------------------------------------------------------------
     # Core access path
@@ -167,11 +319,11 @@ class DramDevice:
 
     def _block_cap(self) -> float:
         """Maximum demand blocking behind background: one burst tail."""
-        return self.timings.t_cas + self.timings.line_burst
+        return self._block_cap_value
 
     def _watermark(self) -> float:
         """Background backlog tolerated before demand throttling."""
-        return BACKGROUND_BACKLOG_OPS * self._block_cap()
+        return self._watermark_value
 
     def access(
         self,
@@ -187,63 +339,180 @@ class DramDevice:
         deprioritized traffic (fills, updates, writebacks) as described in
         the module docstring.
         """
-        t = self.timings
+        (
+            t_act,
+            act_conflict,
+            t_cas,
+            cas_f,
+            line_burst,
+            block_cap,
+            watermark,
+            full_line_bytes,
+            t_act_f,
+            act_conflict_f,
+            line_burst_f,
+        ) = self._hot
         if burst_cycles is None:
-            burst_cycles = t.line_burst
+            burst_cycles = line_burst
 
-        bank_idx = self._bank_index(loc)
-        open_row = self._open_row[bank_idx]
-        row_hit = open_row == loc.row
+        channel = loc.channel
+        row = loc.row
+        bank_idx = channel * self._banks_per_channel + loc.bank
+        open_rows = self._open_row
+        open_row = open_rows[bank_idx]
+        row_hit = open_row == row
         if row_hit:
             act_cycles = 0
+            act_f = 0.0
         elif open_row is None:
-            act_cycles = t.t_act
+            act_cycles = t_act
+            act_f = t_act_f
         else:
-            act_cycles = t.t_rp + t.t_act
-        core_latency = act_cycles + t.t_cas
+            act_cycles = act_conflict
+            act_f = act_conflict_f
+        core_latency = act_cycles + t_cas
 
         bank_service = core_latency + burst_cycles
-        start = self._banks[bank_idx].reserve(
-            now, bank_service, background, self._block_cap(), self._watermark()
-        )
+
+        # Inlined PriorityTimeline.reserve (bank): expression-for-expression
+        # identical to the reference method, so float results match bit-wise.
+        bank = self._banks[bank_idx]
+        if background:
+            free = bank.all_free
+            start = now if now >= free else free
+            bank.all_free = start + bank_service
+        else:
+            free = bank.demand_free
+            start = now if now >= free else free
+            backlog = bank.all_free - start
+            if backlog > 0:
+                blocked = backlog if backlog <= block_cap else block_cap
+                drain = backlog - watermark
+                start += blocked + (drain if drain > 0.0 else 0.0)
+            bank.demand_free = start + bank_service
+            free = bank.all_free
+            bank.all_free = (free if free >= start else start) + bank_service
+
         queue_delay = start - now
         data_ready = start + core_latency
-        bus_start = self._buses[loc.channel].reserve(
-            data_ready, burst_cycles, background, t.line_burst, self._watermark()
-        )
+
+        # Inlined PriorityTimeline.reserve (channel bus).
+        bus = self._buses[channel]
+        if background:
+            free = bus.all_free
+            bus_start = data_ready if data_ready >= free else free
+            bus.all_free = bus_start + burst_cycles
+        else:
+            free = bus.demand_free
+            bus_start = data_ready if data_ready >= free else free
+            backlog = bus.all_free - bus_start
+            if backlog > 0:
+                blocked = backlog if backlog <= line_burst else line_burst
+                drain = backlog - watermark
+                bus_start += blocked + (drain if drain > 0.0 else 0.0)
+            bus.demand_free = bus_start + burst_cycles
+            free = bus.all_free
+            bus.all_free = (free if free >= bus_start else bus_start) + burst_cycles
+
         bus_queue_delay = bus_start - data_ready
         done = bus_start + burst_cycles
-        self._open_row[bank_idx] = loc.row if self.page_policy == "open" else None
+        open_rows[bank_idx] = row if self._open_policy else None
 
-        self.stats.counter("accesses").add()
+        self._n_accesses += 1
         if row_hit:
-            self.stats.counter("row_hits").add()
-        self.stats.counter("write_accesses" if is_write else "read_accesses").add()
+            self._n_row_hits += 1
+        else:
+            self._n_activations += 1
+        if is_write:
+            self._n_writes += 1
+        else:
+            self._n_reads += 1
         if background:
-            self.stats.counter("background_accesses").add()
-        self.stats.counter("bus_cycles").add(burst_cycles)
-        if not row_hit:
-            self.stats.counter("activations").add()
-        self.stats.counter("bytes_on_bus").add(
-            int(burst_cycles * LINE_SIZE / t.line_burst)
-        )
-        self.stats.accumulator("queue_delay").sample(queue_delay)
-        self.stats.accumulator("bus_queue_delay").sample(bus_queue_delay)
+            self._n_background += 1
+        self._n_bus_cycles += burst_cycles
+        if burst_cycles == line_burst:
+            self._n_bytes += full_line_bytes
+            burst_f = line_burst_f
+        else:
+            self._n_bytes += int(burst_cycles * LINE_SIZE / line_burst)
+            burst_f = float(burst_cycles)
+
+        # Accumulator.sample inlined (same ops in the same per-sample
+        # order, so float sums stay bit-identical): five samples per
+        # access made the call overhead a measurable slice of the run.
+        acc = self._acc_queue
+        if acc is None:
+            acc = self._acc_queue = self._stats.accumulator("queue_delay")
+        acc.total += queue_delay
+        acc.count += 1
+        m = acc.min
+        if m is None or queue_delay < m:
+            acc.min = queue_delay
+        m = acc.max
+        if m is None or queue_delay > m:
+            acc.max = queue_delay
+        acc = self._acc_bus_queue
+        if acc is None:
+            acc = self._acc_bus_queue = self._stats.accumulator("bus_queue_delay")
+        acc.total += bus_queue_delay
+        acc.count += 1
+        m = acc.min
+        if m is None or bus_queue_delay < m:
+            acc.min = bus_queue_delay
+        m = acc.max
+        if m is None or bus_queue_delay > m:
+            acc.max = bus_queue_delay
         if not background:
-            self.stats.accumulator("demand_queue_delay").sample(queue_delay)
-            self.stats.accumulator("demand_bus_queue_delay").sample(bus_queue_delay)
-        self.stats.accumulator("access_latency").sample(done - now)
-        return AccessResult(
-            start=start,
-            data_ready=data_ready,
-            done=done,
-            row_hit=row_hit,
-            queue_delay=queue_delay,
-            bus_queue_delay=bus_queue_delay,
-            act_cycles=float(act_cycles),
-            cas_cycles=float(t.t_cas),
-            burst_cycles=float(burst_cycles),
-        )
+            acc = self._acc_demand_queue
+            if acc is None:
+                acc = self._acc_demand_queue = self._stats.accumulator(
+                    "demand_queue_delay"
+                )
+            acc.total += queue_delay
+            acc.count += 1
+            m = acc.min
+            if m is None or queue_delay < m:
+                acc.min = queue_delay
+            m = acc.max
+            if m is None or queue_delay > m:
+                acc.max = queue_delay
+            acc = self._acc_demand_bus_queue
+            if acc is None:
+                acc = self._acc_demand_bus_queue = self._stats.accumulator(
+                    "demand_bus_queue_delay"
+                )
+            acc.total += bus_queue_delay
+            acc.count += 1
+            m = acc.min
+            if m is None or bus_queue_delay < m:
+                acc.min = bus_queue_delay
+            m = acc.max
+            if m is None or bus_queue_delay > m:
+                acc.max = bus_queue_delay
+        latency = done - now
+        acc = self._acc_latency
+        if acc is None:
+            acc = self._acc_latency = self._stats.accumulator("access_latency")
+        acc.total += latency
+        acc.count += 1
+        m = acc.min
+        if m is None or latency < m:
+            acc.min = latency
+        m = acc.max
+        if m is None or latency > m:
+            acc.max = latency
+
+        result = AccessResult.__new__(AccessResult)
+        result.start = start
+        result.data_ready = data_ready
+        result.done = done
+        result.row_hit = row_hit
+        result.queue_delay = queue_delay
+        result.bus_queue_delay = bus_queue_delay
+        result.act_cycles = act_f
+        result.cas_cycles = cas_f
+        result.burst_cycles = burst_f
+        return result
 
     def access_line(
         self,
@@ -279,8 +548,9 @@ class DramDevice:
 
     @property
     def row_hit_rate(self) -> float:
-        acc = self.stats.counter("accesses").value
-        return self.stats.counter("row_hits").value / acc if acc else 0.0
+        stats = self.stats
+        acc = stats.counter("accesses").value
+        return stats.counter("row_hits").value / acc if acc else 0.0
 
     def bus_utilization(self, elapsed_cycles: float) -> float:
         """Aggregate data-bus utilization across channels over ``elapsed_cycles``."""
@@ -290,14 +560,27 @@ class DramDevice:
         return busy / (elapsed_cycles * self.timings.channels)
 
     def reset(self) -> None:
-        """Clear all timeline and row-buffer state.
+        """Clear all timeline, row-buffer, and statistics state.
 
         Warmup never touches the device (it is purely functional, replaying
         records through the designs' ``warm`` hooks without advancing time),
         so this is only needed when reusing one device across independent
         simulations, e.g. in unit tests.
         """
-        self._banks = [PriorityTimeline() for _ in self._banks]
+        for bank in self._banks:
+            bank.reset()
+        for bus in self._buses:
+            bus.reset()
         self._open_row = [None] * len(self._open_row)
-        self._buses = [PriorityTimeline() for _ in self._buses]
-        self.stats.reset()
+        # Discard batched deltas *before* resetting the group — flushing
+        # them through the ``stats`` property here would resurrect
+        # pre-reset counts (the staleness bug this reset guards against).
+        self._n_accesses = 0
+        self._n_row_hits = 0
+        self._n_reads = 0
+        self._n_writes = 0
+        self._n_background = 0
+        self._n_bus_cycles = 0
+        self._n_activations = 0
+        self._n_bytes = 0
+        self._stats.reset()

@@ -43,6 +43,15 @@ _PREDICTOR_LABELS = {
     "PerfectPredictor": "perfect",
 }
 
+#: Table 5 scenario keys by (predicted_memory, actual_memory); hoisted to
+#: module scope so the per-read classification is a tuple-keyed dict hit.
+_SCENARIO_KEYS = {
+    (True, True): "pred_mem_actual_mem",
+    (True, False): "pred_mem_actual_cache",
+    (False, True): "pred_cache_actual_mem",
+    (False, False): "pred_cache_actual_cache",
+}
+
 
 class AlloyCacheDesign(DramCacheDesign):
     """Direct-mapped TAD cache with dynamic access-model prediction."""
@@ -75,18 +84,52 @@ class AlloyCacheDesign(DramCacheDesign):
         self.predictor = predictor
         self.burst_beats = burst_beats
         self._rows = RowMapper(stacked)
+        # --- hot-path precomputation -----------------------------------
+        geometry = self.cache.geometry
+        self._num_sets = geometry.num_sets
+        self._sets_per_row = geometry.sets_per_row
+        # The TAD transfer depends only on the set's slot within its row.
+        self._burst_by_slot = [
+            geometry.transfer_for_set(slot, burst_beats).bus_beats
+            for slot in range(geometry.sets_per_row)
+        ]
+        # RowLocation is immutable, so one instance per cache row can be
+        # cached and shared across accesses.
+        self._loc_by_row: dict = {}
+        # Predictor dispatch resolved once instead of isinstance per read.
+        if predictor is None:
+            self._pred_kind = 0
+        elif isinstance(predictor, MissMap):
+            self._pred_kind = 1
+        elif predictor.is_perfect:
+            self._pred_kind = 2
+        else:
+            self._pred_kind = 3
+            self._pred_latency = max(predictor.latency_cycles, 0)
+        self._trainable = isinstance(predictor, MemoryAccessPredictor)
+        self._missmap = predictor if isinstance(predictor, MissMap) else None
+        self._missmap_latency = config.missmap_latency
+        # Lazily-bound stat handles (lazy to keep ``design_stats`` key sets
+        # identical to the unoptimized lazy-creation behavior).
+        self._scenario_counters: dict = {}
+        self._c_tad_row_hits = None
+        self._c_wasted = None
+        self._c_fills = None
 
     # ------------------------------------------------------------------
     def _set_and_loc(self, line_address: int):
-        set_index = self.cache.set_index(line_address)
-        return set_index, self._rows.locate(self.cache.geometry.row_of_set(set_index))
+        set_index = line_address % self._num_sets
+        row = set_index // self._sets_per_row
+        loc = self._loc_by_row.get(row)
+        if loc is None:
+            loc = self._loc_by_row[row] = self._rows.locate(row)
+        return set_index, loc
 
     def data_location(self, line_address: int):
         return self._set_and_loc(line_address)[1]
 
     def _tad_burst(self, set_index: int) -> int:
-        transfer = self.cache.geometry.transfer_for_set(set_index, self.burst_beats)
-        return transfer.bus_beats
+        return self._burst_by_slot[set_index % self._sets_per_row]
 
     def _predict_memory(self, now: float, core_id: int, pc: int, actual_miss: bool):
         """Run the predictor; returns (prediction, time prediction is ready).
@@ -95,29 +138,29 @@ class AlloyCacheDesign(DramCacheDesign):
         SAM without even the 1-cycle predictor latency (Figure 6's
         "Alloy+NoPred"). A MissMap predictor costs an L3 access and is exact.
         """
-        if self.predictor is None:
+        kind = self._pred_kind
+        if kind == 3:  # MAP family (the common case)
+            return self.predictor.predict(core_id, pc), now + self._pred_latency
+        if kind == 0:
             return False, now
-        if isinstance(self.predictor, MissMap):
-            return actual_miss, now + self.config.missmap_latency
-        if self.predictor.is_perfect:
-            assert isinstance(self.predictor, PerfectPredictor)
-            return self.predictor.predict_with_oracle(actual_miss), now
-        ready = now + max(self.predictor.latency_cycles, 0)
-        return self.predictor.predict(core_id, pc), ready
+        if kind == 1:  # MissMap: exact, at an L3 access's cost
+            return actual_miss, now + self._missmap_latency
+        assert isinstance(self.predictor, PerfectPredictor)
+        return self.predictor.predict_with_oracle(actual_miss), now
 
     def _train(self, core_id: int, pc: int, went_to_memory: bool) -> None:
-        if isinstance(self.predictor, MemoryAccessPredictor):
+        if self._trainable:
             self.predictor.update(core_id, pc, went_to_memory)
 
     def _classify(self, predicted_memory: bool, actual_memory: bool) -> None:
         """Table 5 scenario accounting."""
-        key = {
-            (True, True): "pred_mem_actual_mem",
-            (True, False): "pred_mem_actual_cache",
-            (False, True): "pred_cache_actual_mem",
-            (False, False): "pred_cache_actual_cache",
-        }[(predicted_memory, actual_memory)]
-        self.stats.counter(key).add()
+        scenario = (predicted_memory, actual_memory)
+        counter = self._scenario_counters.get(scenario)
+        if counter is None:
+            counter = self._scenario_counters[scenario] = self.stats.counter(
+                _SCENARIO_KEYS[scenario]
+            )
+        counter.value += 1
 
     # ------------------------------------------------------------------
     def warm(self, line_address, is_write, pc, core_id):
@@ -126,16 +169,17 @@ class AlloyCacheDesign(DramCacheDesign):
             return
         if not hit:
             evicted = self.cache.fill(line_address)
-            if isinstance(self.predictor, MissMap):
-                self.predictor.insert(line_address)
+            missmap = self._missmap
+            if missmap is not None:
+                missmap.insert(line_address)
                 if evicted.valid:
-                    self.predictor.remove(evicted.line_address)
+                    missmap.remove(evicted.line_address)
         self._train(core_id, pc, went_to_memory=not hit)
 
     # ------------------------------------------------------------------
     def access(self, now, line_address, is_write, pc, core_id):
         set_index, loc = self._set_and_loc(line_address)
-        burst = self._tad_burst(set_index)
+        burst = self._burst_by_slot[set_index % self._sets_per_row]
         hit = self.cache.lookup(line_address, is_write=is_write)
 
         if is_write:
@@ -154,16 +198,22 @@ class AlloyCacheDesign(DramCacheDesign):
         # The TAD probe always happens (tags live in the TAD).
         tad = self.stacked.access(pred_ready, loc, burst)
         if tad.row_hit:
-            self.stats.counter("tad_row_hits").add()
+            c = self._c_tad_row_hits
+            if c is None:
+                c = self._c_tad_row_hits = self.stats.counter("tad_row_hits")
+            c.value += 1
 
         if hit:
             if predicted_memory:
                 # Wasted parallel memory access: bandwidth cost only.
                 self._memory_read(pred_ready, line_address)
-                self.stats.counter("wasted_memory_reads").add()
+                c = self._c_wasted
+                if c is None:
+                    c = self._c_wasted = self.stats.counter("wasted_memory_reads")
+                c.value += 1
             done = tad.done
             # The TAD stream *is* the data access: no tag serialization.
-            self._attribute(breakdown, tad, STAGE_DATA)
+            breakdown.attribute_device(tad, STAGE_DATA)
             self._record_read(hit=True, latency=done - now)
             self._train(core_id, pc, went_to_memory=False)
             return AccessOutcome(
@@ -183,15 +233,15 @@ class AlloyCacheDesign(DramCacheDesign):
             # When the tag check gates consumption, the probe is pure tag
             # serialization; otherwise the memory access alone is exposed.
             if tad.done > mem.done:
-                self._attribute(breakdown, tad, STAGE_TAG)
+                breakdown.attribute_device(tad, STAGE_TAG)
             else:
-                self._attribute(breakdown, mem, STAGE_MEMORY)
+                breakdown.attribute_device(mem, STAGE_MEMORY)
         else:
             # Serial Access Model: the probe rules the access a miss before
             # memory is consulted — tag serialization, then memory.
-            self._attribute(breakdown, tad, STAGE_TAG)
+            breakdown.attribute_device(tad, STAGE_TAG)
             mem = self._memory_read(tad.done, line_address)  # serialized (SAM)
-            self._attribute(breakdown, mem, STAGE_MEMORY)
+            breakdown.attribute_device(mem, STAGE_MEMORY)
             done = mem.done
         self._record_read(hit=False, latency=done - now)
         self._train(core_id, pc, went_to_memory=True)
@@ -218,13 +268,17 @@ class AlloyCacheDesign(DramCacheDesign):
         """Write the new TAD; the probe already streamed the victim out, so
         a dirty victim goes straight to memory with no extra cache read."""
         set_index, loc = self._set_and_loc(line_address)
-        burst = self._tad_burst(set_index)
+        burst = self._burst_by_slot[set_index % self._sets_per_row]
         evicted = self.cache.fill(line_address)
-        if isinstance(self.predictor, MissMap):
-            self.predictor.insert(line_address)
+        missmap = self._missmap
+        if missmap is not None:
+            missmap.insert(line_address)
             if evicted.valid:
-                self.predictor.remove(evicted.line_address)
+                missmap.remove(evicted.line_address)
         if evicted.valid and evicted.dirty:
             self._schedule_memory_write(now, evicted.line_address)
         self.stacked.access(now, loc, burst, is_write=True, background=True)
-        self.stats.counter("fills").add()
+        c = self._c_fills
+        if c is None:
+            c = self._c_fills = self.stats.counter("fills")
+        c.value += 1

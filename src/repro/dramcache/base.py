@@ -24,17 +24,21 @@ ever goes missing from the decomposition.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.dram.device import AccessResult, DramDevice
 from repro.dram.mapping import RowLocation
 from repro.lifecycle import STAGES, LatencyBreakdown, MemoryRequest
 from repro.sim.config import SystemConfig
-from repro.stats import Histogram, StatGroup
+from repro.stats import Accumulator, Counter, Histogram, StatGroup
 
 #: Bucket edges (cycles) for hit/read latency distributions.
 LATENCY_BUCKETS = (25, 50, 75, 100, 150, 200, 300, 500)
+
+#: Frozenset mirror of the canonical stages for O(1) membership tests on
+#: the per-read custom-stage check.
+_STAGE_SET = frozenset(STAGES)
 
 #: Attribution gaps below this are floating-point association noise (trace
 #: gaps are fractional, and the breakdown sums stages in a different order
@@ -45,7 +49,6 @@ ATTRIBUTION_EPSILON = 1e-6
 Scheduler = Callable[[float, Callable[[float], None]], None]
 
 
-@dataclass(frozen=True)
 class AccessOutcome:
     """Result of one L3 miss handled by a DRAM-cache design.
 
@@ -59,13 +62,49 @@ class AccessOutcome:
         breakdown: Per-stage attribution of a demand read's latency; its
             stages sum to ``done - issue``. None for writes (posted, zero
             observed latency).
+
+    A ``__slots__`` class rather than a frozen dataclass: one is allocated
+    per simulated access, which made dataclass ``__init__`` overhead show
+    up in profiles. Treat instances as immutable.
     """
 
-    done: float
-    cache_hit: bool
-    served_by_memory: bool
-    predicted_memory: Optional[bool] = None
-    breakdown: Optional[LatencyBreakdown] = None
+    __slots__ = (
+        "done", "cache_hit", "served_by_memory", "predicted_memory", "breakdown"
+    )
+
+    def __init__(
+        self,
+        done: float,
+        cache_hit: bool,
+        served_by_memory: bool,
+        predicted_memory: Optional[bool] = None,
+        breakdown: Optional[LatencyBreakdown] = None,
+    ) -> None:
+        self.done = done
+        self.cache_hit = cache_hit
+        self.served_by_memory = served_by_memory
+        self.predicted_memory = predicted_memory
+        self.breakdown = breakdown
+
+    def _astuple(self) -> Tuple:
+        return (
+            self.done,
+            self.cache_hit,
+            self.served_by_memory,
+            self.predicted_memory,
+            self.breakdown,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessOutcome):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            "AccessOutcome(done={}, cache_hit={}, served_by_memory={}, "
+            "predicted_memory={}, breakdown={})".format(*self._astuple())
+        )
 
 
 class DramCacheDesign(ABC):
@@ -92,6 +131,23 @@ class DramCacheDesign(ABC):
         #: stage means decompose the average read latency exactly.
         self.stage_stats = StatGroup(f"{self.name}.stages")
         self._stage_hists: Dict[str, Histogram] = {}
+        # Percentile (histogram) sampling can be disabled per-run; the
+        # means/counters are unaffected, only p95-style outputs go empty.
+        self._track_hists = getattr(config, "track_percentiles", True)
+        # Hot-path stat handles, bound lazily on first use so the stat
+        # groups' key sets (which feed ``SimResult.design_stats``) match
+        # the original lazy-creation behavior exactly.
+        self._stage_recorders: Optional[
+            List[Tuple[str, Accumulator, Histogram]]
+        ] = None
+        self._acc_unattributed: Optional[Accumulator] = None
+        self._c_read_hits: Optional[Counter] = None
+        self._c_read_misses: Optional[Counter] = None
+        self._acc_hit_latency: Optional[Accumulator] = None
+        self._acc_miss_latency: Optional[Accumulator] = None
+        self._acc_read_latency: Optional[Accumulator] = None
+        self._c_memory_reads: Optional[Counter] = None
+        self._c_memory_writes: Optional[Counter] = None
 
     # ------------------------------------------------------------------
     # Interface
@@ -115,17 +171,17 @@ class DramCacheDesign(ABC):
         replay in :mod:`repro.analysis.latency`) uses; calling
         :meth:`access` directly skips only the stage accounting.
         """
+        issue = request.issue_cycle
         outcome = self.access(
-            request.issue_cycle,
+            issue,
             request.line_address,
             request.is_write,
             request.pc,
             request.core_id,
         )
-        if not request.is_write and outcome.breakdown is not None:
-            self._record_stages(
-                outcome.breakdown, outcome.done - request.issue_cycle
-            )
+        breakdown = outcome.breakdown
+        if breakdown is not None and not request.is_write:
+            self._record_stages(breakdown, outcome.done - issue)
         return outcome
 
     def data_location(self, line_address: int) -> Optional[RowLocation]:
@@ -152,21 +208,68 @@ class DramCacheDesign(ABC):
         breakdown total and the observed end-to-end latency. Tests pin it at
         zero, so every design's arithmetic stays honest under load.
         """
-        gap = abs(latency - breakdown.total)
-        self.stats.accumulator("unattributed_cycles").sample(
-            gap if gap > ATTRIBUTION_EPSILON else 0.0
-        )
-        for stage in STAGES:
-            cycles = breakdown.get(stage)
-            self.stage_stats.accumulator(stage).sample(cycles)
-            hist = self._stage_hists.get(stage)
-            if hist is None:
-                hist = self._stage_hists[stage] = Histogram(
-                    stage, LATENCY_BUCKETS
+        recorders = self._stage_recorders
+        if recorders is None:
+            # First demand read: bind every canonical stage's accumulator
+            # (and histogram) in STAGES order, matching the key order the
+            # unoptimized per-read lazy lookups produced.
+            recorders = self._stage_recorders = [
+                (
+                    stage,
+                    self.stage_stats.accumulator(stage),
+                    Histogram(stage, LATENCY_BUCKETS),
                 )
-            hist.sample(cycles)
-        for stage, cycles in breakdown.items():
-            if stage not in STAGES:  # forward-compat: custom stages
+                for stage in STAGES
+            ]
+            if self._track_hists:
+                for stage, _, hist in recorders:
+                    self._stage_hists[stage] = hist
+            acc = self._acc_unattributed = self.stats.accumulator(
+                "unattributed_cycles"
+            )
+        else:
+            acc = self._acc_unattributed
+
+        stages = breakdown._stages
+        gap = abs(latency - sum(stages.values()))
+        v = gap if gap > ATTRIBUTION_EPSILON else 0.0
+        acc.total += v
+        acc.count += 1
+        m = acc.min
+        if m is None or v < m:
+            acc.min = v
+        m = acc.max
+        if m is None or v > m:
+            acc.max = v
+        stages_get = stages.get
+        # Accumulator.sample / Histogram.sample inlined (same ops, same
+        # order): five stages per demand read made the call overhead a
+        # measurable slice of the whole simulation.
+        if self._track_hists:
+            for stage, stage_acc, hist in recorders:
+                cycles = stages_get(stage, 0.0)
+                stage_acc.total += cycles
+                stage_acc.count += 1
+                m = stage_acc.min
+                if m is None or cycles < m:
+                    stage_acc.min = cycles
+                m = stage_acc.max
+                if m is None or cycles > m:
+                    stage_acc.max = cycles
+                hist.counts[bisect_left(hist.edges, cycles)] += 1
+        else:
+            for stage, stage_acc, _ in recorders:
+                cycles = stages_get(stage, 0.0)
+                stage_acc.total += cycles
+                stage_acc.count += 1
+                m = stage_acc.min
+                if m is None or cycles < m:
+                    stage_acc.min = cycles
+                m = stage_acc.max
+                if m is None or cycles > m:
+                    stage_acc.max = cycles
+        for stage, cycles in stages.items():
+            if stage not in _STAGE_SET:  # forward-compat: custom stages
                 self.stage_stats.accumulator(stage).sample(cycles)
 
     def _attribute(
@@ -199,25 +302,73 @@ class DramCacheDesign(ABC):
         return acc.total if acc else 0.0
 
     def _record_read(self, hit: bool, latency: float) -> None:
+        # Accumulator.sample bodies are inlined (identical op order) —
+        # this runs once per demand read.
         if hit:
-            self.stats.counter("read_hits").add()
-            self.stats.accumulator("hit_latency").sample(latency)
-            self.hit_latency_hist.sample(latency)
+            c = self._c_read_hits
+            if c is None:
+                c = self._c_read_hits = self.stats.counter("read_hits")
+            c.value += 1
+            a = self._acc_hit_latency
+            if a is None:
+                a = self._acc_hit_latency = self.stats.accumulator("hit_latency")
+            a.total += latency
+            a.count += 1
+            m = a.min
+            if m is None or latency < m:
+                a.min = latency
+            m = a.max
+            if m is None or latency > m:
+                a.max = latency
+            if self._track_hists:
+                hist = self.hit_latency_hist
+                hist.counts[bisect_left(hist.edges, latency)] += 1
         else:
-            self.stats.counter("read_misses").add()
-            self.stats.accumulator("miss_latency").sample(latency)
-        self.stats.accumulator("read_latency").sample(latency)
-        self.read_latency_hist.sample(latency)
+            c = self._c_read_misses
+            if c is None:
+                c = self._c_read_misses = self.stats.counter("read_misses")
+            c.value += 1
+            a = self._acc_miss_latency
+            if a is None:
+                a = self._acc_miss_latency = self.stats.accumulator("miss_latency")
+            a.total += latency
+            a.count += 1
+            m = a.min
+            if m is None or latency < m:
+                a.min = latency
+            m = a.max
+            if m is None or latency > m:
+                a.max = latency
+        a = self._acc_read_latency
+        if a is None:
+            a = self._acc_read_latency = self.stats.accumulator("read_latency")
+        a.total += latency
+        a.count += 1
+        m = a.min
+        if m is None or latency < m:
+            a.min = latency
+        m = a.max
+        if m is None or latency > m:
+            a.max = latency
+        if self._track_hists:
+            hist = self.read_latency_hist
+            hist.counts[bisect_left(hist.edges, latency)] += 1
 
     def _record_write(self, hit: bool) -> None:
         self.stats.counter("write_hits" if hit else "write_misses").add()
 
     def _memory_read(self, now: float, line_address: int):
-        self.stats.counter("memory_reads").add()
+        c = self._c_memory_reads
+        if c is None:
+            c = self._c_memory_reads = self.stats.counter("memory_reads")
+        c.value += 1
         return self.memory.access_line(now, line_address)
 
     def _memory_write(self, now: float, line_address: int) -> None:
-        self.stats.counter("memory_writes").add()
+        c = self._c_memory_writes
+        if c is None:
+            c = self._c_memory_writes = self.stats.counter("memory_writes")
+        c.value += 1
         self.memory.access_line(now, line_address, is_write=True, background=True)
 
     def _schedule_memory_write(self, when: float, line_address: int) -> None:

@@ -75,24 +75,42 @@ class LHCacheDesign(DramCacheDesign):
         #: Tag lines streamed per access: all 3 for the 29-way set, 1 for
         #: the direct-mapped variant.
         self.tag_lines_read = LH_TAG_LINES if ways == LH_WAYS else 1
+        # --- hot-path precomputation -----------------------------------
+        self._num_sets = num_sets
+        self._missmap_latency = config.missmap_latency
+        self._missmap_latency_f = float(config.missmap_latency)
+        line_burst = stacked.timings.line_burst
+        self._tag_burst_v = self.tag_lines_read * line_burst
+        self._line_burst_v = line_burst
+        self._update_burst_v = max(line_burst // 4, 1)
+        self._requires_update = policy.requires_update_traffic
+        self._loc_by_row: dict = {}
+        # Lazily-bound counters (lazy to keep ``design_stats`` key sets
+        # identical to the unoptimized lazy-creation behavior).
+        self._c_reopens = None
+        self._c_updates = None
+        self._c_fills = None
 
     # ------------------------------------------------------------------
     def _row_of(self, line_address: int):
-        set_index = self.tags.set_index(line_address)
-        return self._rows.locate(set_index // self.sets_per_row)
+        row = (line_address % self._num_sets) // self.sets_per_row
+        loc = self._loc_by_row.get(row)
+        if loc is None:
+            loc = self._loc_by_row[row] = self._rows.locate(row)
+        return loc
 
     def data_location(self, line_address: int):
         return self._row_of(line_address)
 
     def _tag_burst(self) -> int:
-        return self.tag_lines_read * self.stacked.timings.line_burst
+        return self._tag_burst_v
 
     def _line_burst(self) -> int:
-        return self.stacked.timings.line_burst
+        return self._line_burst_v
 
     def _update_burst(self) -> int:
         """Replacement-state update: one 16 B beat (Table 4: 256+16 bytes)."""
-        return max(self.stacked.timings.line_burst // 4, 1)
+        return self._update_burst_v
 
     # ------------------------------------------------------------------
     def warm(self, line_address, is_write, pc, core_id):
@@ -105,7 +123,7 @@ class LHCacheDesign(DramCacheDesign):
 
     # ------------------------------------------------------------------
     def access(self, now, line_address, is_write, pc, core_id):
-        t0 = now + self.config.missmap_latency  # PSL on hits and misses
+        t0 = now + self._missmap_latency  # PSL on hits and misses
         present = self.missmap.contains(line_address)
         hit = self.tags.lookup(line_address, is_write=is_write)
         # The idealized MissMap is exact; keep ourselves honest.
@@ -121,28 +139,35 @@ class LHCacheDesign(DramCacheDesign):
 
         # Predictor Serialization Latency: the MissMap gates both paths.
         breakdown = LatencyBreakdown(
-            {STAGE_PREDICTOR: float(self.config.missmap_latency)}
+            {STAGE_PREDICTOR: self._missmap_latency_f}
         )
         if hit:
             loc = self._row_of(line_address)
-            tag_read = self.stacked.access(t0, loc, self._tag_burst())
-            self._attribute(breakdown, tag_read, STAGE_TAG)
+            stacked_access = self.stacked.access
+            tag_read = stacked_access(t0, loc, self._tag_burst_v)
+            breakdown.attribute_device(tag_read, STAGE_TAG)
             breakdown.add(STAGE_TAG, TAG_CHECK_CYCLES)
             # Compound Access Scheduling: the data access reuses the open row.
-            data = self.stacked.access(
-                tag_read.done + TAG_CHECK_CYCLES, loc, self._line_burst()
+            data = stacked_access(
+                tag_read.done + TAG_CHECK_CYCLES, loc, self._line_burst_v
             )
-            self._attribute(breakdown, data, STAGE_DATA)
+            breakdown.attribute_device(data, STAGE_DATA)
             if not data.row_hit:
-                self.stats.counter("compound_row_reopens").add()
-            if self.tags.policy.requires_update_traffic:
+                c = self._c_reopens
+                if c is None:
+                    c = self._c_reopens = self.stats.counter("compound_row_reopens")
+                c.value += 1
+            if self._requires_update:
                 # LRU/DIP state lives in the tag lines: a 16-byte update
                 # write (one bus beat, per Table 4's 256+16 bytes/access)
                 # rides the compound access and holds the bank, delaying
                 # later demand accesses — the contention that the Table 1
                 # random-replacement de-optimization removes.
-                self.stacked.access(data.done, loc, self._update_burst(), is_write=True)
-                self.stats.counter("replacement_updates").add()
+                stacked_access(data.done, loc, self._update_burst_v, is_write=True)
+                c = self._c_updates
+                if c is None:
+                    c = self._c_updates = self.stats.counter("replacement_updates")
+                c.value += 1
             self._record_read(hit=True, latency=data.done - now)
             return AccessOutcome(
                 done=data.done,
@@ -152,7 +177,7 @@ class LHCacheDesign(DramCacheDesign):
             )
 
         mem = self._memory_read(t0, line_address)
-        self._attribute(breakdown, mem, STAGE_MEMORY)
+        breakdown.attribute_device(mem, STAGE_MEMORY)
         self._record_read(hit=False, latency=mem.done - now)
         self.schedule(mem.done, lambda t: self._fill(t, line_address))
         return AccessOutcome(
@@ -178,25 +203,29 @@ class LHCacheDesign(DramCacheDesign):
     def _fill(self, now: float, line_address: int) -> None:
         """Install a returned line: tag read, data write, tag write, victim."""
         loc = self._row_of(line_address)
+        stacked_access = self.stacked.access
         # Victim selection and dirty check require the tag lines even though
         # the MissMap already ruled the access a miss (Section 5.1).
-        tag_read = self.stacked.access(now, loc, self._tag_burst(), background=True)
+        tag_read = stacked_access(now, loc, self._tag_burst_v, background=True)
         evicted = self.tags.fill(line_address)
         self.missmap.insert(line_address)
         t = tag_read.done + TAG_CHECK_CYCLES
         if evicted.valid:
             self.missmap.remove(evicted.line_address)
             if evicted.dirty:
-                victim = self.stacked.access(
-                    t, loc, self._line_burst(), background=True
+                victim = stacked_access(
+                    t, loc, self._line_burst_v, background=True
                 )
                 self.stats.counter("victim_reads").add()
                 self._schedule_memory_write(victim.done, evicted.line_address)
                 t = victim.done
-        data_write = self.stacked.access(
-            t, loc, self._line_burst(), is_write=True, background=True
+        data_write = stacked_access(
+            t, loc, self._line_burst_v, is_write=True, background=True
         )
-        self.stacked.access(
-            data_write.done, loc, self._line_burst(), is_write=True, background=True
+        stacked_access(
+            data_write.done, loc, self._line_burst_v, is_write=True, background=True
         )  # tag-line update
-        self.stats.counter("fills").add()
+        c = self._c_fills
+        if c is None:
+            c = self._c_fills = self.stats.counter("fills")
+        c.value += 1

@@ -36,7 +36,6 @@ designs fold those into the five controller stages via
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 #: Canonical controller-level stages, in presentation order.
@@ -55,7 +54,6 @@ STAGES: Tuple[str, ...] = (
 )
 
 
-@dataclass(frozen=True)
 class MemoryRequest:
     """One L3 miss travelling through the DRAM-cache controller.
 
@@ -67,13 +65,52 @@ class MemoryRequest:
         issue_cycle: Cycle the request arrives at the DRAM-cache controller
             (after the L3 lookup); per-stage latencies are measured from
             here, so a read's breakdown sums to ``done - issue_cycle``.
+
+    A plain ``__slots__`` class (not a frozen dataclass): the event loop
+    allocates one per simulated access, so construction cost matters, and
+    the mutable fields let :class:`~repro.sim.system.System` reuse a
+    single scratch instance on its hot path. Designs must treat a request
+    as read-only and never retain it past :meth:`handle`.
     """
 
-    line_address: int
-    is_write: bool
-    pc: int
-    core_id: int
-    issue_cycle: float
+    __slots__ = ("line_address", "is_write", "pc", "core_id", "issue_cycle")
+
+    def __init__(
+        self,
+        line_address: int,
+        is_write: bool,
+        pc: int,
+        core_id: int,
+        issue_cycle: float,
+    ) -> None:
+        self.line_address = line_address
+        self.is_write = is_write
+        self.pc = pc
+        self.core_id = core_id
+        self.issue_cycle = issue_cycle
+
+    def _astuple(self) -> Tuple:
+        return (
+            self.line_address,
+            self.is_write,
+            self.pc,
+            self.core_id,
+            self.issue_cycle,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryRequest):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            "MemoryRequest(line_address={}, is_write={}, pc={}, "
+            "core_id={}, issue_cycle={})".format(*self._astuple())
+        )
 
 
 class LatencyBreakdown:
@@ -102,9 +139,18 @@ class LatencyBreakdown:
     def attribute_device(self, result, stage: str) -> "LatencyBreakdown":
         """Fold one device :class:`~repro.dram.device.AccessResult` in:
         waiting (bank + bus queues) goes to the shared ``queue`` stage,
-        service cycles (ACT + CAS + burst) to ``stage``."""
-        self.add(STAGE_QUEUE, result.queue_delay + result.bus_queue_delay)
-        self.add(stage, result.act_cycles + result.cas_cycles + result.burst_cycles)
+        service cycles (ACT + CAS + burst) to ``stage``.
+
+        The :meth:`add` calls are inlined (same zero-skip and accumulate
+        order) — this runs several times per simulated access.
+        """
+        stages = self._stages
+        cycles = result.queue_delay + result.bus_queue_delay
+        if cycles:
+            stages[STAGE_QUEUE] = stages.get(STAGE_QUEUE, 0.0) + cycles
+        cycles = result.act_cycles + result.cas_cycles + result.burst_cycles
+        if cycles:
+            stages[stage] = stages.get(stage, 0.0) + cycles
         return self
 
     # ------------------------------------------------------------------

@@ -1,0 +1,35 @@
+"""Performance harness: the ``repro bench`` grid and golden-result gates.
+
+Two pillars keep the simulator's performance trajectory honest:
+
+* :mod:`repro.perf.bench` — times a pinned (design x benchmark x reads)
+  grid, reports events/sec and wall seconds per cell with warmup-discarded
+  medians, and emits a schema-versioned ``BENCH_<date>.json`` so every
+  optimization PR leaves a measurable trace. ``compare()`` gates CI within
+  a tolerance band around a committed baseline.
+* :mod:`repro.perf.golden` — captures the paper-fidelity scorecard (the
+  cycle-exact Figure 3 replay plus a pinned simulation grid) as canonical
+  JSON, so any behavioral drift — not just a perf regression — fails CI
+  with a field-level diff.
+"""
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    BenchCell,
+    BenchRun,
+    CellTiming,
+    compare,
+    latest_bench_file,
+    load_bench,
+    make_bench_grid,
+    run_bench,
+    time_cell,
+    write_bench,
+)
+from repro.perf.golden import (
+    GOLDEN_SCHEMA,
+    canonical_dumps,
+    check_golden,
+    golden_payload,
+    write_golden,
+)

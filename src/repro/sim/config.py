@@ -60,6 +60,11 @@ class SystemConfig:
     #: Row-buffer management for each device: "open" (paper) or "closed".
     offchip_page_policy: str = "open"
     stacked_page_policy: str = "open"
+    #: When False, designs skip latency-histogram sampling on the per-read
+    #: hot path: means/counters are unchanged, but percentile outputs
+    #: (hit/read latency p95, per-stage p95) come back empty. A perf knob
+    #: for sweeps that only consume means.
+    track_percentiles: bool = True
 
     @property
     def scaled_cache_bytes(self) -> int:

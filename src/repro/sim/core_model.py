@@ -17,16 +17,30 @@ from typing import Tuple
 from repro.workloads.trace import CoreTrace
 
 
+def _tolist(arr):
+    """Materialize a numpy array (or any sequence) as a plain list."""
+    tolist = getattr(arr, "tolist", None)
+    return tolist() if tolist is not None else arr
+
+
 class Core:
-    """Cursor over one core's trace with completion-time bookkeeping."""
+    """Cursor over one core's trace with completion-time bookkeeping.
+
+    The trace's numpy arrays are converted to plain Python lists up front:
+    the event loop consumes one scalar per event, and per-element numpy
+    scalar extraction (``arr[i]`` + ``int()``/``float()`` boxing) costs
+    several times a plain list index on that path. The one-time conversion
+    applies the same ``float``/``int``/``bool`` casts the per-record path
+    used to, so consumers see identical values and types.
+    """
 
     def __init__(self, core_id: int, trace: CoreTrace, start_index: int = 0) -> None:
         self.core_id = core_id
-        self._gaps = trace.gaps
-        self._addresses = trace.addresses
-        self._is_write = trace.is_write
-        self._pcs = trace.pcs
-        self._dependent = trace.dependent_flags()
+        self._gaps = [float(g) for g in _tolist(trace.gaps)]
+        self._addresses = [int(a) for a in _tolist(trace.addresses)]
+        self._is_write = [bool(w) for w in _tolist(trace.is_write)]
+        self._pcs = [int(p) for p in _tolist(trace.pcs)]
+        self._dependent = [bool(d) for d in _tolist(trace.dependent_flags())]
         self._index = start_index
         self._length = len(trace)
         #: Cycle at which this core's last record completed.
@@ -55,26 +69,22 @@ class Core:
 
     def peek_gap(self) -> float:
         """Compute-cycle gap preceding the next record."""
-        return float(self._gaps[self._index])
+        return self._gaps[self._index]
 
     def next_record(self) -> Tuple[int, bool, int]:
         """Consume and return the next (address, is_write, pc) record."""
         i = self._index
-        self._index += 1
-        record = (
-            int(self._addresses[i]),
-            bool(self._is_write[i]),
-            int(self._pcs[i]),
-        )
-        if record[1]:
+        self._index = i + 1
+        is_write = self._is_write[i]
+        if is_write:
             self.writes_issued += 1
         else:
             self.reads_issued += 1
-        return record
+        return self._addresses[i], is_write, self._pcs[i]
 
     def next_is_dependent(self) -> bool:
         """True if the next record is a dependent (pointer-chase) read."""
-        return bool(self._dependent[self._index])
+        return self._dependent[self._index]
 
     @property
     def remaining(self) -> int:

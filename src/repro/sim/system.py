@@ -70,6 +70,14 @@ class System:
         self.now = 0.0
         #: Heap entries popped by :meth:`run` (sweep telemetry).
         self.events_processed = 0
+        # Hot-path constants and a reusable scratch request: one
+        # MemoryRequest is mutated per core event instead of allocated,
+        # which is safe because designs never retain a request past
+        # ``handle()`` (documented on MemoryRequest).
+        self._mshrs = config.mshrs_per_core
+        self._l3_latency = config.l3_latency
+        self._write_issue_cycles = config.write_issue_cycles
+        self._request = MemoryRequest(0, False, 0, 0, 0.0)
         if callable(design):
             # Custom builder: builder(config, stacked, memory, schedule).
             self.design: DramCacheDesign = design(
@@ -86,7 +94,10 @@ class System:
     # ------------------------------------------------------------------
     def schedule(self, when: float, fn: Callable[[float], None]) -> None:
         """Run ``fn(when)`` when simulated time reaches ``when``."""
-        heapq.heappush(self._heap, (max(when, self.now), next(self._seq), fn))
+        now = self.now
+        heapq.heappush(
+            self._heap, (when if when >= now else now, next(self._seq), fn)
+        )
 
     # ------------------------------------------------------------------
     # Warmup
@@ -121,56 +132,72 @@ class System:
             if core.has_next():
                 self.schedule(core.peek_gap(), self._make_core_event(core))
 
-        while self._heap:
-            when, _, fn = heapq.heappop(self._heap)
+        # Hot loop: locals for the heap machinery; ``self.now`` must still
+        # be stored per event (design callbacks read it via ``schedule``).
+        heap = self._heap
+        heappop = heapq.heappop
+        events = 0
+        while heap:
+            when, _, fn = heappop(heap)
             self.now = when
-            self.events_processed += 1
+            events += 1
             fn(when)
+        self.events_processed += events
 
         return self._collect()
 
     def _make_core_event(self, core: Core) -> Callable[[float], None]:
+        """One reusable event closure per core (rescheduled, not re-created)."""
+
         def fire(now: float) -> None:
-            self._handle_core(core, now)
+            self._handle_core(core, now, fire)
 
         return fire
 
-    def _handle_core(self, core: Core, now: float) -> None:
-        mshrs = self.config.mshrs_per_core
+    def _handle_core(
+        self, core: Core, now: float, fire: Callable[[float], None]
+    ) -> None:
+        mshrs = self._mshrs
         if mshrs > 1:
             # MLP core: stall when every MSHR is occupied, or when the next
             # read's address depends on an in-flight read (pointer chasing).
             core.retire_completed(now)
             if core.mshr_full(mshrs):
-                self.schedule(core.earliest_completion(), self._make_core_event(core))
+                self.schedule(core.earliest_completion(), fire)
                 return
             if (
                 core.has_next()
                 and core.next_is_dependent()
                 and core.last_read_done > now
             ):
-                self.schedule(core.last_read_done, self._make_core_event(core))
+                self.schedule(core.last_read_done, fire)
                 return
 
         address, is_write, pc = core.next_record()
+        request = self._request
+        request.line_address = address
+        request.is_write = is_write
+        request.pc = pc
+        request.core_id = core.core_id
         if is_write:
             # Posted writeback: the design handles it off the critical path.
-            self.design.handle(
-                MemoryRequest(address, True, pc, core.core_id, now)
-            )
-            completed = now + self.config.write_issue_cycles
+            request.issue_cycle = now
+            self.design.handle(request)
+            completed = now + self._write_issue_cycles
         else:
             # Demand read: L3 lookup (a miss, by trace construction), then
             # the DRAM-cache design.
-            arrival = now + self.config.l3_latency
-            outcome = self.design.handle(
-                MemoryRequest(address, False, pc, core.core_id, arrival)
-            )
-            completed = max(outcome.done, arrival)
+            arrival = now + self._l3_latency
+            request.issue_cycle = arrival
+            outcome = self.design.handle(request)
+            done = outcome.done
+            completed = done if done >= arrival else arrival
             if mshrs > 1:
                 core.outstanding.append(completed)
-            core.last_read_done = max(core.last_read_done, completed)
-        core.finish_time = max(core.finish_time, completed)
+            if completed > core.last_read_done:
+                core.last_read_done = completed
+        if completed > core.finish_time:
+            core.finish_time = completed
         if core.has_next():
             if mshrs > 1 and not is_write:
                 # Compute overlaps the outstanding miss; the next record
@@ -178,7 +205,7 @@ class System:
                 next_at = now + core.peek_gap()
             else:
                 next_at = completed + core.peek_gap()
-            self.schedule(next_at, self._make_core_event(core))
+            self.schedule(next_at, fire)
 
     # ------------------------------------------------------------------
     # Result assembly

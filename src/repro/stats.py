@@ -72,6 +72,8 @@ class Accumulator:
 class Histogram:
     """Fixed-bucket histogram for latency distributions."""
 
+    __slots__ = ("name", "edges", "counts")
+
     def __init__(self, name: str, bucket_edges: Iterable[float]) -> None:
         self.name = name
         self.edges: List[float] = sorted(bucket_edges)
@@ -82,6 +84,10 @@ class Histogram:
         # sorted), i.e. the bucket a linear scan would pick; index len(edges)
         # is the overflow bucket. Called once per latency sample (hot path).
         self.counts[bisect_left(self.edges, value)] += 1
+
+    def reset(self) -> None:
+        """Zero every bucket (the edges are part of the histogram's shape)."""
+        self.counts = [0] * (len(self.edges) + 1)
 
     @property
     def total(self) -> int:
@@ -132,6 +138,7 @@ class StatGroup:
     name: str
     counters: Dict[str, Counter] = field(default_factory=dict)
     accumulators: Dict[str, Accumulator] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
         if name not in self.counters:
@@ -143,11 +150,25 @@ class StatGroup:
             self.accumulators[name] = Accumulator(name)
         return self.accumulators[name]
 
+    def histogram(self, name: str, bucket_edges: Iterable[float]) -> Histogram:
+        """Register (or fetch) a histogram so :meth:`reset` covers it.
+
+        Histograms are excluded from :meth:`as_dict` (their buckets are not
+        a scalar metric); registering them here only ties their lifetime to
+        the group's reset path, fixing the stale-bucket leak between
+        :meth:`repro.dram.device.DramDevice.reset` calls.
+        """
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name, bucket_edges)
+        return self.histograms[name]
+
     def reset(self) -> None:
         for c in self.counters.values():
             c.reset()
         for a in self.accumulators.values():
             a.reset()
+        for h in self.histograms.values():
+            h.reset()
 
     def as_dict(self) -> Dict[str, float]:
         out: Dict[str, float] = {}

@@ -308,3 +308,62 @@ class TestUtilities:
         assert stacked.stats.counter("accesses").value == 0
         assert stacked.open_row_at(LOC) is None
         assert stacked.access(0.0, LOC).done == 40
+
+
+class TestResetStaleness:
+    """``reset()`` must not resurrect pre-reset activity.
+
+    The device batches its integer counters as plain attributes and only
+    flushes them into the :class:`StatGroup` when ``stats`` is read.
+    A reset that cleared the group but left the pending deltas behind
+    would leak the pre-reset counts into the first post-reset ``stats``
+    read — these tests pin the fix.
+    """
+
+    def test_pending_counter_deltas_cleared(self, stacked):
+        # Accumulate activity WITHOUT reading .stats (deltas stay batched).
+        for _ in range(4):
+            stacked.access(0.0, LOC)
+        stacked.reset()
+        stacked.access(0.0, LOC)
+        # Exactly the one post-reset access — not 5.
+        assert stacked.stats.counter("accesses").value == 1
+        assert stacked.stats.counter("read_accesses").value == 1
+
+    def test_pending_deltas_cleared_even_without_new_accesses(self, stacked):
+        stacked.access(0.0, LOC, is_write=True, background=True)
+        stacked.reset()
+        stats = stacked.stats
+        assert stats.counter("accesses").value == 0
+        assert stats.counter("write_accesses").value == 0
+        assert stats.counter("background_accesses").value == 0
+        assert stats.counter("bus_cycles").value == 0
+
+    def test_accumulators_cleared(self, stacked):
+        for _ in range(3):
+            stacked.access(0.0, LOC)  # same bank: queue_wait samples
+        stacked.reset()
+        acc = stacked.stats.accumulators.get("queue_wait")
+        assert acc is None or acc.count == 0
+
+    def test_post_reset_sequence_matches_fresh_device(self, stacked):
+        for _ in range(4):
+            stacked.access(0.0, LOC)
+        stacked.reset()
+        fresh = DramDevice(STACKED_DRAM)
+        for device in (stacked, fresh):
+            device.access(0.0, LOC)
+            device.access(0.0, OTHER_ROW)
+        assert stacked.stats.as_dict() == fresh.stats.as_dict()
+
+    def test_registered_histograms_reset_with_group(self, stacked):
+        # StatGroup-registered histograms follow the group's reset: a
+        # histogram that kept its buckets across reset would double-count
+        # the warmup phase after System.run() resets the devices.
+        hist = stacked.stats.histogram("probe_latency", [10, 100])
+        hist.sample(50.0)
+        assert sum(hist.counts) == 1
+        stacked.reset()
+        assert sum(hist.counts) == 0
+        # Re-registering under the same name returns the same (reset) object.
+        assert stacked.stats.histogram("probe_latency", [10, 100]) is hist

@@ -1,0 +1,199 @@
+"""Tests for the ``repro bench`` perf harness and the golden scorecard.
+
+The harness itself must be trustworthy before its numbers gate CI: grid
+cell ids are the cross-run join keys, payloads are schema-versioned, and
+the comparison must normalize away host speed rather than code speed.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    BENCH_SCHEMA,
+    DEFAULT_BENCHMARKS,
+    DEFAULT_DESIGNS,
+    QUICK_BENCHMARKS,
+    QUICK_DESIGNS,
+    BenchCell,
+    BenchRun,
+    compare,
+    load_bench,
+    make_bench_grid,
+    time_cell,
+    write_bench,
+)
+from repro.perf.golden import (
+    canonical_dumps,
+    diff_payloads,
+    golden_grid,
+)
+
+
+class TestGridConstruction:
+    def test_cross_product(self):
+        cells = make_bench_grid(["a", "b"], ["x", "y", "z"], reads_per_core=100)
+        assert len(cells) == 6
+        assert {(c.design, c.benchmark) for c in cells} == {
+            (d, b) for d in ("a", "b") for b in ("x", "y", "z")
+        }
+        assert all(c.reads_per_core == 100 for c in cells)
+
+    def test_cell_id_pins_every_parameter(self):
+        cell = BenchCell("alloy-map-i", "mcf_r", 2000, 0.25, 1)
+        assert cell.cell_id == "alloy-map-i/mcf_r/r2000/w0.25/s1"
+
+    def test_quick_grid_is_subset_of_full_grid(self):
+        # CI compares a --quick run against the committed full baseline,
+        # so every quick cell id must also appear in the full grid.
+        full = {c.cell_id for c in make_bench_grid(DEFAULT_DESIGNS, DEFAULT_BENCHMARKS)}
+        quick = {c.cell_id for c in make_bench_grid(QUICK_DESIGNS, QUICK_BENCHMARKS)}
+        assert quick <= full
+        assert quick  # non-empty
+
+    def test_golden_grid_has_unique_cell_ids(self):
+        cells = golden_grid()
+        ids = [c.cell_id for c in cells]
+        assert len(ids) == len(set(ids))
+        assert any(c.design == "lh-cache" for c in cells)
+        assert any(c.design == "alloy-map-i" for c in cells)
+
+
+class TestTimeCell:
+    def test_determinism_and_telemetry(self):
+        cell = BenchCell("no-cache", "mcf_r", reads_per_core=200)
+        timing = time_cell(cell, repeats=2, discard=1)
+        # time_cell raises BenchDeterminismError internally if any repeat's
+        # SimResult differs, so reaching here proves 3 identical runs.
+        assert len(timing.wall_seconds) == 2
+        assert len(timing.discarded_seconds) == 1
+        assert timing.heap_events > 0
+        assert timing.events_per_sec > 0
+        assert min(timing.wall_seconds) <= timing.wall_median <= max(timing.wall_seconds)
+
+    def test_rejects_bad_repeat_counts(self):
+        cell = BenchCell("no-cache", "mcf_r", reads_per_core=50)
+        with pytest.raises(ValueError):
+            time_cell(cell, repeats=0)
+        with pytest.raises(ValueError):
+            time_cell(cell, repeats=1, discard=-1)
+
+
+class TestPayloadRoundTrip:
+    def _run(self):
+        cell = BenchCell("no-cache", "mcf_r", reads_per_core=200)
+        timing = time_cell(cell, repeats=1, discard=0)
+        return BenchRun(
+            timings=[timing],
+            repeats=1,
+            discard=0,
+            calibration_ops_per_sec=1e6,
+            elapsed_seconds=timing.wall_seconds[0],
+        )
+
+    def test_schema_round_trip(self, tmp_path):
+        payload = self._run().to_payload(label="unit-test")
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["kind"] == "repro-bench"
+        assert payload["label"] == "unit-test"
+        path = tmp_path / "BENCH_test.json"
+        write_bench(payload, path)
+        loaded = load_bench(path)
+        assert loaded == payload
+        (cell_id,) = loaded["cells"]
+        cell = loaded["cells"][cell_id]
+        assert cell["design"] == "no-cache"
+        assert cell["heap_events"] > 0
+        assert cell["events_per_sec"] > 0
+
+    def test_load_rejects_foreign_payloads(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+    def test_load_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps({"kind": "repro-bench", "schema": BENCH_SCHEMA + 1})
+        )
+        with pytest.raises(ValueError):
+            load_bench(path)
+
+
+def _payload(cells, calibration=1000.0):
+    return {
+        "kind": "repro-bench",
+        "schema": BENCH_SCHEMA,
+        "calibration_ops_per_sec": calibration,
+        "cells": {
+            cell_id: {"events_per_sec": eps} for cell_id, eps in cells.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_pass_within_band(self):
+        summary = compare(
+            _payload({"a": 95.0}), _payload({"a": 100.0}), tolerance=0.30
+        )
+        assert summary["verdict"] == "pass"
+        assert summary["regressions"] == []
+
+    def test_regression_beyond_band_fails(self):
+        summary = compare(
+            _payload({"a": 60.0}), _payload({"a": 100.0}), tolerance=0.30
+        )
+        assert summary["verdict"] == "fail"
+        assert summary["regressions"] == ["a"]
+
+    def test_improvement_flagged_but_passes(self):
+        summary = compare(
+            _payload({"a": 200.0}), _payload({"a": 100.0}), tolerance=0.30
+        )
+        assert summary["verdict"] == "pass"
+        assert summary["improvements"] == ["a"]
+
+    def test_host_calibration_normalizes_machine_speed(self):
+        # Current host is 2x faster than the baseline host; 2x raw ev/s is
+        # therefore *flat*, not an improvement — and 1x raw is a regression.
+        flat = compare(
+            _payload({"a": 200.0}, calibration=2000.0),
+            _payload({"a": 100.0}, calibration=1000.0),
+            tolerance=0.30,
+        )
+        assert flat["cells"]["a"]["speedup"] == pytest.approx(1.0)
+        assert flat["verdict"] == "pass"
+        slow = compare(
+            _payload({"a": 100.0}, calibration=2000.0),
+            _payload({"a": 100.0}, calibration=1000.0),
+            tolerance=0.30,
+        )
+        assert slow["verdict"] == "fail"
+
+    def test_disjoint_cells_is_empty_verdict(self):
+        summary = compare(_payload({"a": 1.0}), _payload({"b": 1.0}))
+        assert summary["verdict"] == "empty"
+        assert summary["shared_cells"] == 0
+
+
+class TestGoldenHelpers:
+    def test_canonical_dumps_is_byte_stable(self):
+        a = canonical_dumps({"b": 1, "a": [1.5, {"z": 2, "y": 3}]})
+        b = canonical_dumps({"a": [1.5, {"y": 3, "z": 2}], "b": 1})
+        assert a == b
+        assert a.endswith("\n")
+
+    def test_diff_payloads_pinpoints_field(self):
+        golden = {"grid": {"cell": {"cycles": 100, "hits": 5}}}
+        current = {"grid": {"cell": {"cycles": 101, "hits": 5}}}
+        diffs = diff_payloads(current, golden)
+        assert len(diffs) == 1
+        assert "cycles" in diffs[0]
+        assert diff_payloads(golden, golden) == []
+
+    def test_diff_payloads_reports_missing_keys(self):
+        diffs = diff_payloads({"a": 1}, {"a": 1, "b": 2})
+        assert diffs == ["$.b: missing from current run"]
+        diffs = diff_payloads({"a": 1, "c": 3}, {"a": 1})
+        assert diffs == ["$.c: not in golden file"]
