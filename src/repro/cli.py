@@ -10,7 +10,8 @@ Usage::
 
 The ``sweep`` verb runs an ad-hoc (design x benchmark) grid through the
 parallel executor in :mod:`repro.sim.parallel`, printing per-cell telemetry
-(wall seconds, heap events, events/sec, cache hit/miss) and speedups over
+(sim wall seconds, heap events, events/sec, trace source, cache hit/miss),
+the trace-build vs simulation amortization summary, and speedups over
 the ``no-cache`` baseline. Completed cells persist under ``.repro_cache/``
 (override with ``REPRO_CACHE_DIR``/``--cache-dir``; disable with
 ``--no-cache``), so repeating a sweep — or resuming after a crash —

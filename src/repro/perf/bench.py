@@ -34,7 +34,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.sim.results import SimResult
 
 #: Bump when the BENCH_*.json layout changes.
-BENCH_SCHEMA = 1
+#: 2: per-cell trace_build_seconds / trace_source split (ISSUE 4).
+BENCH_SCHEMA = 2
 
 #: File-name prefix for emitted benchmark payloads at the repo root.
 BENCH_PREFIX = "BENCH_"
@@ -107,6 +108,11 @@ class CellTiming:
     #: Wall seconds of the discarded warmup repeats.
     discarded_seconds: List[float]
     result: SimResult
+    #: Seconds spent materializing the workload once, before the timed
+    #: repeats (generator run, ``.npz`` load, or arena memo hit).
+    trace_build_seconds: float = 0.0
+    #: Where the workload came from: ``built`` / ``npz`` / ``memo``.
+    trace_source: str = ""
 
     @property
     def wall_median(self) -> float:
@@ -133,7 +139,8 @@ def time_cell(
     is bypassed entirely, this always simulates.
     """
     from repro.sim.system import System
-    from repro.workloads.spec import build_workload
+    from repro.workloads.arena import WorkloadParams, get_workload_arena
+    from repro.workloads.spec import get_benchmark
 
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -141,12 +148,16 @@ def time_cell(
         raise ValueError(f"discard must be >= 0, got {discard}")
 
     config = _bench_config()
-    workload = build_workload(
-        cell.benchmark,
-        num_cores=config.num_cores,
-        reads_per_core=cell.reads_per_core,
-        capacity_scale=config.capacity_scale,
-        seed=cell.seed,
+    # Materialize through the content-keyed arena so the harness reports
+    # the trace-build/sim split (and benefits from persisted arenas).
+    workload, trace_telemetry = get_workload_arena().fetch(
+        WorkloadParams(
+            benchmark=get_benchmark(cell.benchmark).name,
+            num_cores=config.num_cores,
+            reads_per_core=cell.reads_per_core,
+            capacity_scale=config.capacity_scale,
+            seed=cell.seed,
+        )
     )
 
     reference: Optional[Dict] = None
@@ -176,6 +187,8 @@ def time_cell(
         wall_seconds=walls,
         discarded_seconds=discarded,
         result=result,
+        trace_build_seconds=float(trace_telemetry["trace_build_seconds"]),
+        trace_source=str(trace_telemetry["trace_source"]),
     )
 
 
@@ -210,6 +223,8 @@ class BenchRun:
                 "wall_seconds": list(t.wall_seconds),
                 "wall_seconds_median": t.wall_median,
                 "events_per_sec": t.events_per_sec,
+                "trace_build_seconds": t.trace_build_seconds,
+                "trace_source": t.trace_source,
                 "cycles": t.result.cycles,
                 "read_hit_rate": t.result.read_hit_rate,
             }
@@ -225,23 +240,33 @@ class BenchRun:
             "repeats": self.repeats,
             "discard": self.discard,
             "calibration_ops_per_sec": self.calibration_ops_per_sec,
+            "trace_build_seconds": self.trace_build_seconds,
             "cells": cells,
         }
+
+    @property
+    def trace_build_seconds(self) -> float:
+        """Total workload-materialization time across the grid (excluded
+        from the per-repeat walls, reported so the amortization the sweep
+        fabric buys is visible next to raw sim throughput)."""
+        return sum(t.trace_build_seconds for t in self.timings)
 
     def render(self) -> str:
         lines = [
             f"{'design':<16} {'benchmark':<10} {'reads':>6} {'events':>9} "
-            f"{'wall_s(med)':>11} {'ev/s':>10}"
+            f"{'wall_s(med)':>11} {'ev/s':>10} {'trace':>6}"
         ]
         for t in self.timings:
             lines.append(
                 f"{t.cell.design:<16} {t.cell.benchmark:<10} "
                 f"{t.cell.reads_per_core:>6d} {t.heap_events:>9d} "
-                f"{t.wall_median:>11.3f} {t.events_per_sec:>10.0f}"
+                f"{t.wall_median:>11.3f} {t.events_per_sec:>10.0f} "
+                f"{t.trace_source or '-':>6}"
             )
         lines.append(
             f"-- {len(self.timings)} cells | {self.repeats} repeats "
             f"(+{self.discard} warmup discarded) | "
+            f"{self.trace_build_seconds:.2f}s trace build | "
             f"{self.elapsed_seconds:.1f}s elapsed"
         )
         return "\n".join(lines)

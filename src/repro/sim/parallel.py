@@ -1,4 +1,4 @@
-"""Parallel sweep executor with a persistent, content-keyed result cache.
+"""Parallel sweep executor: persistent result cache + shared-workload fabric.
 
 Every paper artifact is a sweep over (design x benchmark x config) cells.
 This module turns that grid into an explicit work list and provides:
@@ -14,34 +14,64 @@ This module turns that grid into an explicit work list and provides:
   warmup_fraction and every field of the frozen ``SystemConfig`` (timings
   included) — plus a schema version and the package version, so changing any
   knob or upgrading the model invalidates the entry.
-* :func:`run_sweep` — fan cells out over a :class:`ProcessPoolExecutor`
-  (``max_workers=1`` runs in-process through the *same* cell function, so
-  serial and parallel paths are bit-identical). Workers write the cache as
-  they finish, enabling crash resume.
-* :class:`SweepReport` — per-cell telemetry (wall seconds, heap events,
-  events/sec, cache hit/miss) plus grid accessors and speedup helpers.
+* :func:`run_sweep` — fan cells out over a lazily-created **persistent**
+  process pool (``max_workers=1`` runs in-process through the *same* cell
+  function, so serial and parallel paths are bit-identical). The pool is
+  reused across ``run_sweep`` calls in one process — ``repro report``
+  issues dozens of sweeps and pays pool startup once.
+* **Shared-workload fabric** — all designs in a grid row consume the same
+  workload, so the parent materializes each unique workload exactly once
+  (through the content-keyed :mod:`repro.workloads.arena`), packs its
+  arrays into a ``multiprocessing.shared_memory`` segment, and ships
+  workers a small picklable handle instead of regenerating — or pickling —
+  megabytes of trace arrays per cell. Workers memoize attachments, so a
+  workload crosses the process boundary once per worker, not once per
+  cell. Segments are torn down in a ``finally`` (plus an ``atexit``
+  backstop in the arena module), so nothing survives in ``/dev/shm`` on
+  success, exception, or Ctrl-C.
+* :class:`SweepReport` — per-cell telemetry (sim wall seconds, trace-build
+  seconds, trace source, heap events, events/sec, cache hit/miss) plus
+  sweep-level amortization: unique workloads vs generator runs vs cells.
 
 Environment knobs:
 
 * ``REPRO_CACHE_DIR`` — cache directory (default ``.repro_cache`` in the
   current working directory).
-* ``REPRO_CACHE=0`` — disable the on-disk tier (memory tier stays on).
+* ``REPRO_CACHE=0`` — disable the on-disk result tier (memory tier stays
+  on).
+* ``REPRO_TRACE_CACHE=0`` — disable the on-disk ``.npz`` trace arenas
+  (see :mod:`repro.workloads.arena`).
+* ``REPRO_SHARED_TRACES=0`` — disable the shared-memory fan-out and the
+  persistent pool; parallel sweeps fall back to an ephemeral pool whose
+  workers build workloads themselves (kept as a comparison/escape hatch).
 * ``REPRO_JOBS`` — default worker count for the experiment-layer sweeps.
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import os
+import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
+from repro.workloads.arena import (
+    TRACE_SUBDIR,
+    SharedWorkloadHandle,
+    WorkloadParams,
+    attach_workload,
+    get_workload_arena,
+    release_segment,
+    share_workload,
+)
 
 #: Bump when the cache file layout (not the simulated content) changes.
 #: 2: per-stage latency attribution fields on SimResult (ISSUE 2).
@@ -72,11 +102,22 @@ def cache_enabled() -> bool:
     return os.environ.get("REPRO_CACHE", "1") != "0"
 
 
+def shared_traces_enabled() -> bool:
+    """Whether the shared-workload fabric is on (``REPRO_SHARED_TRACES=0``
+    falls back to ephemeral pools with worker-side workload builds)."""
+    return os.environ.get("REPRO_SHARED_TRACES", "1") != "0"
+
+
 def default_workers() -> int:
     """Worker count for experiment sweeps (``REPRO_JOBS``, default 1)."""
+    raw = os.environ.get("REPRO_JOBS", "1")
     try:
-        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+        return max(1, int(raw))
     except ValueError:
+        print(
+            f"repro: REPRO_JOBS={raw!r} is not an integer; using 1 worker",
+            file=sys.stderr,
+        )
         return 1
 
 
@@ -103,6 +144,22 @@ class SweepCell:
             self.reads_per_core,
             self.warmup_fraction,
             self.seed,
+        )
+
+    def workload_params(self) -> WorkloadParams:
+        """The content-keyed workload this cell consumes.
+
+        Benchmark name canonicalized (``gcc`` and ``gcc_r`` share one
+        arena entry), so every design in a grid row maps to the same key.
+        """
+        from repro.workloads.spec import get_benchmark
+
+        return WorkloadParams(
+            benchmark=get_benchmark(self.benchmark).name,
+            num_cores=self.config.num_cores,
+            reads_per_core=self.reads_per_core,
+            capacity_scale=self.config.capacity_scale,
+            seed=self.seed,
         )
 
 
@@ -239,6 +296,17 @@ class ResultCache:
                 self._path(key), result, telemetry, describe or {}
             )
 
+    def remember(
+        self, key: str, result: SimResult, telemetry: Optional[Dict] = None
+    ) -> None:
+        """Adopt a completed cell into the memory tier only.
+
+        For results another process already persisted (pool workers write
+        their own cells to disk before returning) — the parent mirrors
+        them without a redundant disk write or re-read.
+        """
+        self._memory[key] = (result, telemetry or {})
+
     def clear(self, disk: bool = True) -> None:
         """Drop the memory tier and (optionally) every on-disk entry."""
         self._memory.clear()
@@ -294,25 +362,45 @@ def get_result_cache() -> ResultCache:
 # ----------------------------------------------------------------------
 # Cell execution (shared by the serial path and pool workers)
 # ----------------------------------------------------------------------
-def _execute_cell(cell: SweepCell) -> Tuple[SimResult, Dict]:
+def _execute_cell(
+    cell: SweepCell,
+    workload=None,
+    trace_telemetry: Optional[Dict] = None,
+    trace_dir: Optional[Path] = None,
+) -> Tuple[SimResult, Dict]:
     """Run one cell and return (result, telemetry). Pure w.r.t. the cell:
-    identical cells produce identical results in any process."""
-    from repro.sim.runner import run_benchmark
+    identical cells produce identical results in any process.
 
+    With no prebuilt ``workload``, fetches through the content-keyed arena
+    (memo -> ``.npz`` -> generate). ``wall_seconds`` covers only the
+    simulation; workload materialization is reported separately as
+    ``trace_build_seconds`` / ``trace_source``.
+    """
+    from repro.sim.runner import run_design
+
+    if workload is None:
+        arena = get_workload_arena(trace_dir)
+        workload, trace_telemetry = arena.fetch(cell.workload_params())
+    trace_telemetry = trace_telemetry or {
+        "trace_source": "caller",
+        "trace_build_seconds": 0.0,
+    }
     started = time.perf_counter()
-    result = run_benchmark(
+    result = run_design(
         cell.design,
-        cell.benchmark,
+        workload,
         cell.config,
-        reads_per_core=cell.reads_per_core,
         warmup_fraction=cell.warmup_fraction,
-        seed=cell.seed,
     )
     wall = time.perf_counter() - started
     telemetry = {
         "wall_seconds": wall,
         "heap_events": result.heap_events,
         "events_per_sec": result.heap_events / wall if wall > 0 else 0.0,
+        "trace_build_seconds": float(
+            trace_telemetry.get("trace_build_seconds", 0.0)
+        ),
+        "trace_source": str(trace_telemetry.get("trace_source", "")),
     }
     return result, telemetry
 
@@ -329,16 +417,114 @@ def _cell_describe(cell: SweepCell) -> Dict:
     }
 
 
+# -- worker side -------------------------------------------------------
+#: Per-worker memo of attached shared workloads, by workload content key.
+#: Entries hold (workload, segment) so the mapping outlives the parent's
+#: unlink: on Linux the memory stays valid while mapped, which is what
+#: lets a persistent pool reuse attachments across run_sweep calls.
+_worker_attachments: Dict[str, Tuple[object, object]] = {}
+
+#: FIFO cap on the attachment memo. Evicted segments are closed — safe
+#: because the single-threaded worker only touches the entry it just
+#: looked up, never an evicted one.
+_WORKER_MEMO_CAP = 32
+
+
+def _attach_cached(handle: SharedWorkloadHandle):
+    """Worker-side attach with per-key memoization.
+
+    Returns (workload, trace_telemetry). A memo hit costs nothing — the
+    arrays are already mapped into this worker from a previous cell (or a
+    previous sweep; content keys make reuse safe across segment names).
+    """
+    cached = _worker_attachments.get(handle.key)
+    if cached is not None:
+        return cached[0], {
+            "trace_source": "shared-memo",
+            "trace_build_seconds": 0.0,
+        }
+    started = time.perf_counter()
+    workload, shm = attach_workload(handle)
+    elapsed = time.perf_counter() - started
+    while len(_worker_attachments) >= _WORKER_MEMO_CAP:
+        _, old_shm = _worker_attachments.pop(next(iter(_worker_attachments)))
+        try:
+            old_shm.close()
+        except OSError:  # pragma: no cover - racing cleanup
+            pass
+    _worker_attachments[handle.key] = (workload, shm)
+    return workload, {
+        "trace_source": "shared",
+        "trace_build_seconds": elapsed,
+    }
+
+
 def _worker(
-    cell: SweepCell, cache_dir: Optional[str], persist: bool
+    cell: SweepCell,
+    cache_dir: Optional[str],
+    persist: bool,
+    handle: Optional[SharedWorkloadHandle] = None,
 ) -> Tuple[SimResult, Dict]:
     """Pool entry point: run the cell and persist it before returning, so a
-    crashed parent still finds the completed cell on the next run."""
-    result, telemetry = _execute_cell(cell)
+    crashed parent still finds the completed cell on the next run.
+
+    With a :class:`SharedWorkloadHandle` the workload comes zero-copy from
+    the parent's shared-memory segment; without one (fabric disabled) the
+    worker materializes it through its own arena — the explicit
+    ``cache_dir`` keeps forked workers honest when tests repoint
+    ``REPRO_CACHE_DIR`` after the pool was spawned.
+    """
+    workload = None
+    trace_telemetry = None
+    if handle is not None:
+        workload, trace_telemetry = _attach_cached(handle)
+    trace_dir = Path(cache_dir) / TRACE_SUBDIR if cache_dir else None
+    result, telemetry = _execute_cell(
+        cell, workload, trace_telemetry, trace_dir=trace_dir
+    )
     if persist:
         cache = ResultCache(Path(cache_dir) if cache_dir else None, persist=True)
         cache.put(cell.key(), result, telemetry, _cell_describe(cell))
     return result, telemetry
+
+
+# ----------------------------------------------------------------------
+# Persistent worker pool
+# ----------------------------------------------------------------------
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_size = 0
+
+
+def _get_pool(max_workers: int) -> ProcessPoolExecutor:
+    """The lazily-created pool, reused across ``run_sweep`` calls.
+
+    Recreated only when the requested size changes. Workers spawn on
+    demand (ProcessPoolExecutor grows the pool per submit), so asking for
+    4 workers to run 2 cells forks 2 processes.
+    """
+    global _pool, _pool_size
+    if _pool is not None and _pool_size != max_workers:
+        shutdown_worker_pool()
+    if _pool is None:
+        _pool = ProcessPoolExecutor(max_workers=max_workers)
+        _pool_size = max_workers
+    return _pool
+
+
+def shutdown_worker_pool() -> None:
+    """Tear down the persistent pool (idempotent; atexit backstop).
+
+    Also the recovery path after :class:`BrokenProcessPool` — the next
+    sweep gets a fresh pool instead of the poisoned one.
+    """
+    global _pool, _pool_size
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+        _pool_size = 0
+
+
+atexit.register(shutdown_worker_pool)
 
 
 # ----------------------------------------------------------------------
@@ -351,11 +537,18 @@ class CellResult:
     cell: SweepCell
     result: SimResult
     #: Wall-clock seconds of the simulation that produced ``result`` (the
-    #: original run's time when served from cache).
+    #: original run's time when served from cache). Excludes trace build.
     wall_seconds: float
     heap_events: int
     events_per_sec: float
     from_cache: bool
+    #: Seconds this cell's executor spent materializing its workload
+    #: (generator run, ``.npz`` load, or shared-memory attach).
+    trace_build_seconds: float = 0.0
+    #: Where the workload came from: ``built`` (generators ran), ``memo``,
+    #: ``npz``, ``shared`` (attached parent segment), ``shared-memo``
+    #: (worker reused a prior attachment), or ``""`` for cache hits.
+    trace_source: str = ""
 
 
 @dataclass
@@ -366,6 +559,15 @@ class SweepReport:
     max_workers: int
     #: End-to-end wall-clock of the whole sweep (not the per-cell sum).
     elapsed_seconds: float
+    #: Unique workload keys consumed by cells that actually ran.
+    workloads_unique: int = 0
+    #: How many times trace generators actually ran, anywhere (parent or
+    #: workers). The fabric's whole point: equals ``workloads_unique`` on
+    #: a cold cache, 0 on a warm one.
+    workloads_built: int = 0
+    #: Parent-side seconds spent materializing workloads before fan-out
+    #: (zero on the serial path, where builds are attributed per cell).
+    parent_trace_seconds: float = 0.0
 
     # -- aggregate telemetry -------------------------------------------
     @property
@@ -385,6 +587,14 @@ class SweepReport:
         """Sum of per-cell simulation time (exceeds ``elapsed_seconds``
         when cells ran in parallel; counts only cells actually run)."""
         return sum(c.wall_seconds for c in self.cells if not c.from_cache)
+
+    @property
+    def trace_build_seconds(self) -> float:
+        """Total workload-materialization time: parent-side builds plus
+        whatever executors spent building/loading/attaching per cell."""
+        return self.parent_trace_seconds + sum(
+            c.trace_build_seconds for c in self.cells if not c.from_cache
+        )
 
     @property
     def events_per_sec(self) -> float:
@@ -429,11 +639,11 @@ class SweepReport:
 
     # -- rendering ------------------------------------------------------
     def render(self) -> str:
-        """Telemetry table + summary line (the ``repro sweep`` output)."""
+        """Telemetry table + summary lines (the ``repro sweep`` output)."""
         lines = [
             f"{'design':<16} {'benchmark':<12} {'cycles':>12} "
             f"{'hit_rate':>8} {'events':>9} {'ev/s':>10} "
-            f"{'wall_s':>8} {'cache':>6}"
+            f"{'wall_s':>8} {'trace':>11} {'cache':>6}"
         ]
         for c in self.cells:
             lines.append(
@@ -442,6 +652,7 @@ class SweepReport:
                 f"{c.result.read_hit_rate:>8.3f} "
                 f"{c.heap_events:>9d} {c.events_per_sec:>10.0f} "
                 f"{c.wall_seconds:>8.3f} "
+                f"{c.trace_source or '-':>11} "
                 f"{'hit' if c.from_cache else 'miss':>6}"
             )
         lines.append(
@@ -451,6 +662,13 @@ class SweepReport:
             f"{self.events_per_sec:,.0f} events/sec simulated | "
             f"{self.elapsed_seconds:.2f}s elapsed"
         )
+        if self.cache_misses:
+            lines.append(
+                f"-- traces: {self.workloads_unique} unique workloads, "
+                f"{self.workloads_built} generator runs | "
+                f"{self.trace_build_seconds:.2f}s trace build vs "
+                f"{self.simulated_seconds:.2f}s simulation"
+            )
         return "\n".join(lines)
 
 
@@ -466,13 +684,18 @@ def run_sweep(
     """Execute every cell, fanning out across ``max_workers`` processes.
 
     Cached cells are served without simulation; missing cells are executed
-    (in-process when ``max_workers=1``, else on a process pool) through the
-    same :func:`_execute_cell` function, so the serial and parallel paths
-    produce bit-identical :class:`SimResult`\\ s. Workers persist each cell
-    as it completes, so an interrupted sweep resumes from completed cells.
+    (in-process when ``max_workers=1``, else on the persistent process
+    pool) through the same :func:`_execute_cell` function, so the serial
+    and parallel paths produce bit-identical :class:`SimResult`\\ s.
+    Workers persist each cell as it completes, so an interrupted sweep
+    resumes from completed cells.
 
     Duplicate cells (same content key) are simulated once and fanned back
-    to every occurrence.
+    to every occurrence. On the parallel path the parent materializes
+    each unique workload once and fans it out over shared memory (see the
+    module docstring); workloads for grid rows are built incrementally as
+    their cells are submitted, so workers start on the first row while
+    the parent is still building later ones.
     """
     cells = list(cells)
     if max_workers < 1:
@@ -488,31 +711,23 @@ def run_sweep(
         entry = cache.get_entry(key) if use_cache else None
         if entry is not None:
             result, telemetry = entry
-            slots[index] = CellResult(
-                cell=cell,
-                result=result,
-                wall_seconds=float(telemetry.get("wall_seconds", 0.0)),
-                heap_events=int(
-                    telemetry.get("heap_events", result.heap_events)
-                ),
-                events_per_sec=float(telemetry.get("events_per_sec", 0.0)),
-                from_cache=True,
-            )
+            slots[index] = _cell_result(cell, result, telemetry, from_cache=True)
         else:
             pending.setdefault(key, []).append(index)
 
     def _finish(key: str, result: SimResult, telemetry: Dict) -> None:
         first = True
         for index in pending[key]:
-            slots[index] = CellResult(
-                cell=cells[index],
-                result=result,
-                wall_seconds=float(telemetry.get("wall_seconds", 0.0)),
-                heap_events=int(telemetry.get("heap_events", 0)),
-                events_per_sec=float(telemetry.get("events_per_sec", 0.0)),
-                from_cache=not first,
+            slots[index] = _cell_result(
+                cells[index], result, telemetry, from_cache=not first
             )
             first = False
+
+    workloads_unique = len(
+        {cells[indices[0]].workload_params().key() for indices in pending.values()}
+    )
+    parent_builds = 0
+    parent_trace_seconds = 0.0
 
     if pending and max_workers == 1:
         for key, indices in pending.items():
@@ -523,34 +738,102 @@ def run_sweep(
             _finish(key, result, telemetry)
     elif pending:
         persist = use_cache and cache.persist
-        with ProcessPoolExecutor(
-            max_workers=min(max_workers, len(pending))
-        ) as pool:
-            futures = {
-                pool.submit(
-                    _worker,
-                    cells[indices[0]],
-                    str(cache.directory),
-                    persist,
-                ): key
-                for key, indices in pending.items()
-            }
+        share = shared_traces_enabled()
+        handles: Dict[str, SharedWorkloadHandle] = {}
+        segments: List[str] = []
+        futures: Dict[Future, str] = {}
+        try:
+            if share:
+                pool = _get_pool(max_workers)
+                arena = get_workload_arena()
+                for key, indices in pending.items():
+                    cell = cells[indices[0]]
+                    params = cell.workload_params()
+                    wkey = params.key()
+                    handle = handles.get(wkey)
+                    if handle is None:
+                        workload, trace_tel = arena.fetch(params)
+                        parent_trace_seconds += trace_tel["trace_build_seconds"]
+                        if trace_tel["trace_source"] == "built":
+                            parent_builds += 1
+                        handle = share_workload(wkey, workload)
+                        handles[wkey] = handle
+                        segments.append(handle.shm_name)
+                    futures[
+                        pool.submit(
+                            _worker, cell, str(cache.directory), persist, handle
+                        )
+                    ] = key
+            else:
+                # Fabric disabled: ephemeral pool, workers build their own
+                # workloads (each worker's arena memoizes across its cells).
+                pool = ProcessPoolExecutor(
+                    max_workers=min(max_workers, len(pending))
+                )
+                for key, indices in pending.items():
+                    futures[
+                        pool.submit(
+                            _worker,
+                            cells[indices[0]],
+                            str(cache.directory),
+                            persist,
+                            None,
+                        )
+                    ] = key
             remaining = set(futures)
             while remaining:
-                done, remaining = wait(
-                    remaining, return_when=FIRST_COMPLETED
-                )
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
                     key = futures[future]
                     result, telemetry = future.result()
                     if use_cache:
-                        # Mirror the worker's disk write into this process's
-                        # memory tier (no re-read from disk needed).
-                        cache._memory[key] = (result, telemetry)
+                        # Workers persisted to disk already; adopt into the
+                        # parent's memory tier without a re-read.
+                        cache.remember(key, result, telemetry)
                     _finish(key, result, telemetry)
+        except BrokenProcessPool:
+            # A worker died mid-flight; the pool is poisoned. Drop it so
+            # the next sweep starts clean.
+            if share:
+                shutdown_worker_pool()
+            raise
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        finally:
+            for name in segments:
+                release_segment(name)
+            if not share:
+                pool.shutdown(wait=False, cancel_futures=True)
 
+    executed = [slot for slot in slots if slot is not None]
+    workloads_built = parent_builds + sum(
+        1
+        for c in executed
+        if not c.from_cache and c.trace_source == "built"
+    )
     return SweepReport(
-        cells=[slot for slot in slots if slot is not None],
+        cells=executed,
         max_workers=max_workers,
         elapsed_seconds=time.perf_counter() - started,
+        workloads_unique=workloads_unique if pending else 0,
+        workloads_built=workloads_built,
+        parent_trace_seconds=parent_trace_seconds,
+    )
+
+
+def _cell_result(
+    cell: SweepCell, result: SimResult, telemetry: Dict, from_cache: bool
+) -> CellResult:
+    """Assemble one CellResult from executor (or cached-run) telemetry."""
+    return CellResult(
+        cell=cell,
+        result=result,
+        wall_seconds=float(telemetry.get("wall_seconds", 0.0)),
+        heap_events=int(telemetry.get("heap_events", result.heap_events)),
+        events_per_sec=float(telemetry.get("events_per_sec", 0.0)),
+        from_cache=from_cache,
+        trace_build_seconds=float(telemetry.get("trace_build_seconds", 0.0)),
+        trace_source=str(telemetry.get("trace_source", "")),
     )

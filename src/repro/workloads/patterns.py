@@ -29,6 +29,14 @@ import numpy as np
 from repro.units import LINE_SIZE
 from repro.workloads.trace import CoreTrace
 
+#: Version of the generated trace *streams*. Part of every workload-arena
+#: cache key (:mod:`repro.workloads.arena`): bump whenever a change to this
+#: module alters the emitted addresses/pcs/gaps for any (config, seed), so
+#: persisted ``.npz`` arenas from older generators are invalidated. Pure
+#: speedups that keep streams bit-identical (guarded by the golden
+#: scorecard) must NOT bump it.
+GENERATOR_VERSION = 1
+
 #: Compute CPI between misses for a 4-wide core (gap cycles per instruction).
 COMPUTE_CPI = 0.25
 
@@ -37,6 +45,13 @@ DEFAULT_BURST = 3
 
 #: Geometric mean number of bursts a component stays active once selected.
 PHASE_BURSTS = 10
+
+#: Bursts at or above this many records are emitted as vectorized numpy
+#: expressions; shorter ones as plain Python lists (numpy's fixed per-call
+#: overhead loses below roughly this size). Both paths consume the RNG
+#: streams identically, so the threshold is a pure speed knob — moving it
+#: cannot change a generated trace.
+VECTOR_BURST_MIN = 16
 
 
 @dataclass(frozen=True)
@@ -94,69 +109,109 @@ class _ComponentState:
         # Precompute a Zipf rank permutation so rank 0 is a fixed hot line.
         self._zipf_perm = None
 
-    def next_burst(self, max_len: int) -> List[Tuple[int, Optional[int]]]:
-        """Emit one burst as (line_address, pc_slot) pairs.
+    def next_burst(self, max_len: int):
+        """Emit one burst as parallel (line_addresses, pc_slots) sequences.
 
-        ``pc_slot`` is None for components whose accesses come from
-        interchangeable instructions; zipf components bind the slot to the
-        rank magnitude, reproducing the real-program property that hot and
-        cold data are touched by different code paths — the correlation
+        ``pc_slots`` is None for components whose accesses come from
+        interchangeable instructions; hot/zipf components bind the slot to
+        the address/rank, reproducing the real-program property that hot
+        and cold data are touched by different code paths — the correlation
         MAP-I exploits (Section 5.3.2).
+
+        Long bursts come back as one vectorized numpy expression; short
+        bursts (below :data:`VECTOR_BURST_MIN`) as plain Python lists,
+        which beat numpy's per-call overhead at those sizes. Either way
+        the RNG draw *order* is exactly the record-at-a-time generator's:
+        scalar draws stay scalar, and per-record draws become one
+        ``size=length`` call, which numpy fills element-by-element from
+        the same bit stream — so the emitted values are bit-identical
+        regardless of which path a burst takes (pinned by the golden
+        scorecard).
         """
         comp = self.comp
         rng = self.rng
+        region = self.region_lines
+        base = self.base_line
         if comp.kind == "sequential":
             length = min(max(1, int(rng.geometric(1.0 / comp.run_length))), max_len)
-            lines = [
-                (self.base_line + (self.cursor + i) % self.region_lines, None)
-                for i in range(length)
-            ]
-            self.cursor = (self.cursor + length) % self.region_lines
-            return lines
+            cursor = self.cursor
+            self.cursor = (cursor + length) % region
+            if cursor + length <= region:
+                # No wrap (the common case: regions dwarf run lengths).
+                start = base + cursor
+                if length < VECTOR_BURST_MIN:
+                    return list(range(start, start + length)), None
+                return np.arange(start, start + length, dtype=np.int64), None
+            if length < VECTOR_BURST_MIN:
+                return [base + (cursor + i) % region for i in range(length)], None
+            rel = (cursor + np.arange(length, dtype=np.int64)) % region
+            return base + rel, None
         if comp.kind == "strided":
             # Fixed-stride walk (column sweeps, HPC grids): run_length is
             # the stride in lines. Strides >= a row's 32 lines defeat the
             # row buffer entirely (pure "type Y" traffic).
             stride = max(comp.run_length, 1)
             length = min(max(1, int(rng.geometric(1.0 / DEFAULT_BURST))), max_len)
-            out = []
-            for _ in range(length):
-                out.append((self.base_line + self.cursor, None))
-                self.cursor = (self.cursor + stride) % self.region_lines
-            return out
+            cursor = self.cursor
+            self.cursor = (cursor + stride * length) % region
+            if length < VECTOR_BURST_MIN:
+                return (
+                    [base + (cursor + stride * i) % region for i in range(length)],
+                    None,
+                )
+            rel = (cursor + stride * np.arange(length, dtype=np.int64)) % region
+            return base + rel, None
         length = min(max(1, int(rng.geometric(1.0 / DEFAULT_BURST))), max_len)
         if comp.kind == "hot":
-            start = int(rng.integers(self.region_lines))
-            out = []
-            for i in range(length):
-                line = (start + i) % self.region_lines
-                # PC binds to the address chunk: distinct loads walk distinct
-                # structures, so a chunk that loses its cache slots to
-                # conflicts keeps missing under the same PC — the per-PC
-                # outcome bias MAP-I learns.
-                slot = line * comp.pc_pool // self.region_lines
-                out.append((self.base_line + line, slot))
-            return out
+            start = int(rng.integers(region))
+            pool = comp.pc_pool
+            # PC binds to the address chunk: distinct loads walk distinct
+            # structures, so a chunk that loses its cache slots to
+            # conflicts keeps missing under the same PC — the per-PC
+            # outcome bias MAP-I learns.
+            if length < VECTOR_BURST_MIN:
+                lines = []
+                slots = []
+                for i in range(length):
+                    line = (start + i) % region
+                    lines.append(base + line)
+                    slots.append(line * pool // region)
+                return lines, slots
+            rel = (start + np.arange(length, dtype=np.int64)) % region
+            return base + rel, rel * pool // region
         if comp.kind == "zipf":
-            out = []
-            for _ in range(length):
-                # Inverse-CDF power-law sample over ranks, clipped to region.
-                u = rng.random()
-                rank = int(u ** (-1.0 / (self.comp.zipf_alpha - 1.0))) - 1
-                rank = min(rank, self.region_lines - 1)
-                # Rank maps to a contiguous line: hot data is clustered, as
-                # in real heaps, which keeps direct-mapped conflicts between
-                # the hot head and cold tail realistic rather than maximal.
-                slot = min(rank.bit_length(), comp.pc_pool - 1)
-                out.append((self.base_line + rank, slot))
-            return out
+            # Inverse-CDF power-law sample over ranks, clipped to region.
+            # Rank maps to a contiguous line: hot data is clustered, as in
+            # real heaps, which keeps direct-mapped conflicts between the
+            # hot head and cold tail realistic rather than maximal.
+            power = -1.0 / (comp.zipf_alpha - 1.0)
+            pool_top = comp.pc_pool - 1
+            if length < VECTOR_BURST_MIN:
+                lines = []
+                slots = []
+                for _ in range(length):
+                    rank = int(rng.random() ** power) - 1
+                    rank = min(rank, region - 1)
+                    lines.append(base + rank)
+                    slots.append(min(rank.bit_length(), pool_top))
+                return lines, slots
+            u = rng.random(size=length)
+            with np.errstate(over="ignore"):
+                raw = u**power
+            # Clip before the int cast (huge floats, inf); anything past
+            # 2**62 is far beyond every region and clips to region-1 anyway.
+            ranks = np.minimum(raw, float(1 << 62)).astype(np.int64) - 1
+            ranks = np.minimum(ranks, region - 1)
+            # frexp's exponent is exactly bit_length for ints < 2**53.
+            # (int64, not frexp's native int32: pc bases exceed 2**31.)
+            bit_lengths = np.frexp(ranks.astype(np.float64))[1].astype(np.int64)
+            return base + ranks, np.minimum(bit_lengths, pool_top)
         if comp.kind == "pointer":
-            start = int(rng.integers(self.region_lines))
+            start = int(rng.integers(region))
             self.cursor = start
-            return [
-                (self.base_line + int(self.rng.integers(self.region_lines)), None)
-                for _ in range(length)
-            ]
+            # Batched even when short: one bounded-integers call beats
+            # ``length`` scalar calls at every size.
+            return base + rng.integers(region, size=length), None
         raise ValueError(f"unknown component kind {comp.kind!r}")
 
 
@@ -187,6 +242,13 @@ def generate_core_trace(
     )  # strided/hot/zipf/pointer bursts all average DEFAULT_BURST accesses
     weights = np.array([c.weight for c in comps], dtype=float) / burst_means
     weights /= weights.sum()
+    # Phase draws replicate ``rng.choice(len(comps), p=weights)`` with the
+    # CDF hoisted out of the loop: Generator.choice is exactly
+    # ``cdf.searchsorted(self.random(), side="right")`` after normalizing,
+    # so this consumes the identical stream (one double per draw) without
+    # re-validating and re-accumulating ``p`` thousands of times.
+    comp_cdf = weights.cumsum()
+    comp_cdf /= comp_cdf[-1]
 
     # Lay components out back-to-back inside the core's region.
     states: List[_ComponentState] = []
@@ -204,33 +266,46 @@ def generate_core_trace(
         offset += region_lines
 
     pc_base = 0x400000 + (seed & 0xFFFF) * 0x10000
+    comp_pc_bases = [pc_base + i * 0x1000 for i in range(len(comps))]
 
-    read_addrs: List[int] = []
-    read_pcs: List[int] = []
-    read_dependent: List[bool] = []
+    read_addrs_arr = np.empty(num_reads, dtype=np.int64)
+    read_pcs_arr = np.empty(num_reads, dtype=np.int64)
+    read_dep_arr = np.zeros(num_reads, dtype=bool)
+    total = 0
     # Programs execute in phases: once a component becomes active it stays
     # active for several bursts (geometric, mean PHASE_BURSTS). This temporal
     # clustering of hits and misses is what history-based predictors exploit
-    # (Section 5.3's MMMMHHHH example).
-    while len(read_addrs) < num_reads:
-        comp_idx = int(rng.choice(len(comps), p=weights))
+    # (Section 5.3's MMMMHHHH example). Bursts land as whole-array slice
+    # assignments into preallocated outputs, and the per-record PC draws of
+    # slot-free components become one batched ``integers`` call — which
+    # consumes the main RNG stream in the same order as the old
+    # record-at-a-time loop.
+    while total < num_reads:
+        comp_idx = int(comp_cdf.searchsorted(rng.random(), side="right"))
         comp = comps[comp_idx]
+        state = states[comp_idx]
+        comp_pc_base = comp_pc_bases[comp_idx]
+        is_pointer = comp.kind == "pointer"
         phase_bursts = max(1, int(rng.geometric(1.0 / PHASE_BURSTS)))
         for _ in range(phase_bursts):
-            if len(read_addrs) >= num_reads:
+            if total >= num_reads:
                 break
-            burst = states[comp_idx].next_burst(num_reads - len(read_addrs))
-            dependent = comp.kind == "pointer"
-            for line, slot in burst:
-                read_addrs.append(line)
-                read_dependent.append(dependent)
-                if slot is None:
-                    slot = int(rng.integers(comp.pc_pool)) if comp.pc_pool > 1 else 0
-                read_pcs.append(pc_base + comp_idx * 0x1000 + slot * 4)
-
-    read_addrs_arr = np.asarray(read_addrs, dtype=np.int64)
-    read_pcs_arr = np.asarray(read_pcs, dtype=np.int64)
-    read_dep_arr = np.asarray(read_dependent, dtype=bool)
+            lines, slots = state.next_burst(num_reads - total)
+            end = total + len(lines)
+            read_addrs_arr[total:end] = lines
+            if slots is None:
+                if comp.pc_pool > 1:
+                    slots = rng.integers(comp.pc_pool, size=len(lines))
+                    read_pcs_arr[total:end] = comp_pc_base + slots * 4
+                else:
+                    read_pcs_arr[total:end] = comp_pc_base
+            elif type(slots) is list:
+                read_pcs_arr[total:end] = [comp_pc_base + s * 4 for s in slots]
+            else:
+                read_pcs_arr[total:end] = comp_pc_base + slots * 4
+            if is_pointer:
+                read_dep_arr[total:end] = True
+            total = end
 
     # Gap cycles: calibrated mean compute time between misses (see
     # PatternConfig.gap_mean_cycles) with exponential jitter for burstiness.

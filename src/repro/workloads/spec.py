@@ -18,7 +18,6 @@ workloads. All run in rate mode: 8 copies in disjoint address ranges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Dict, Tuple
 
 from repro.units import GB, MB
@@ -228,18 +227,17 @@ def get_benchmark(name: str) -> BenchmarkSpec:
     raise KeyError(f"unknown benchmark {name!r}; known: {sorted(ALL_BENCHMARKS)}")
 
 
-@lru_cache(maxsize=64)
-def build_workload(
+def generate_workload(
     name: str,
     num_cores: int = 8,
     reads_per_core: int = 20000,
     capacity_scale: int = 256,
     seed: int = 1,
 ) -> Workload:
-    """Build a rate-mode workload: ``num_cores`` copies in disjoint ranges.
+    """Generate a rate-mode workload: ``num_cores`` copies in disjoint ranges.
 
-    Results are cached because experiments reuse the same workloads across
-    many design configurations.
+    Always runs the trace generators — callers wanting the cached tiers go
+    through :func:`build_workload` (or the arena directly).
     """
     spec = get_benchmark(name)
     cores = []
@@ -253,3 +251,33 @@ def build_workload(
         )
         cores.append(trace)
     return Workload(name=spec.name, cores=cores)
+
+
+def build_workload(
+    name: str,
+    num_cores: int = 8,
+    reads_per_core: int = 20000,
+    capacity_scale: int = 256,
+    seed: int = 1,
+) -> Workload:
+    """The cached path: fetch through the process-wide workload arena.
+
+    The arena memoizes in-process (replacing this function's former
+    ``lru_cache``) and persists ``.npz`` trace arenas under
+    ``.repro_cache/traces/`` keyed by content, so repeated processes reuse
+    materialized traces instead of re-running the generators. The benchmark
+    name is canonicalized first so ``"gcc"`` and ``"gcc_r"`` share a cache
+    entry.
+    """
+    # Local import: arena generates via generate_workload() above.
+    from repro.workloads.arena import WorkloadParams, get_workload_arena
+
+    params = WorkloadParams(
+        benchmark=get_benchmark(name).name,
+        num_cores=num_cores,
+        reads_per_core=reads_per_core,
+        capacity_scale=capacity_scale,
+        seed=seed,
+    )
+    workload, _ = get_workload_arena().fetch(params)
+    return workload

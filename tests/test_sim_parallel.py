@@ -10,6 +10,7 @@ from repro.sim.parallel import (
     ResultCache,
     SweepCell,
     cell_key,
+    default_workers,
     make_cells,
     run_sweep,
 )
@@ -165,6 +166,16 @@ class TestPersistentCache:
             report.cells[1].result
         )
 
+    def test_remember_populates_memory_tier_only(self, cache):
+        """The public adoption API for worker-persisted results: visible
+        to lookups, but never re-written to disk by the parent."""
+        cell = tiny_cells()[0]
+        result = run_sweep([cell], max_workers=1, cache=cache).cells[0].result
+        other = ResultCache(cache.directory / "elsewhere", persist=True)
+        other.remember(cell.key(), result, {"wall_seconds": 1.5})
+        assert other.get_entry(cell.key()) == (result, {"wall_seconds": 1.5})
+        assert not (cache.directory / "elsewhere").exists()
+
 
 class TestResultSchema:
     """SimResult's on-disk shape: round-trips exactly, and changing the
@@ -241,6 +252,56 @@ class TestTelemetry:
         assert "events/sec" in rendered
         assert "4 cells" in rendered
         assert "miss" in rendered
+
+    def test_serial_sweep_builds_each_workload_once(self, cache):
+        """2 designs x 2 benchmarks: the arena memoizes, so only the first
+        cell of each benchmark runs the generators."""
+        report = run_sweep(tiny_cells(), max_workers=1, cache=cache)
+        assert report.workloads_unique == 2
+        # Either built fresh here or loaded from an arena persisted by an
+        # earlier test in this session — never more than one build each.
+        assert report.workloads_built <= 2
+        sources = {c.trace_source for c in report.cells}
+        assert sources <= {"built", "memo", "npz"}
+        assert report.trace_build_seconds >= 0.0
+        assert "unique workloads" in report.render()
+
+    def test_parallel_sweep_builds_each_workload_once(self, tmp_path):
+        """The fabric's acceptance telemetry: the parent materializes each
+        unique workload exactly once and workers attach it shared."""
+        report = run_sweep(
+            tiny_cells(),
+            max_workers=2,
+            cache=ResultCache(tmp_path / "cache", persist=True),
+        )
+        assert report.workloads_unique == 2
+        assert report.workloads_built <= 2
+        for cell in report.cells:
+            assert cell.trace_source in ("shared", "shared-memo")
+
+    def test_cached_sweep_builds_no_workloads(self, cache):
+        run_sweep(tiny_cells(), max_workers=1, cache=cache)
+        again = run_sweep(tiny_cells(), max_workers=1, cache=cache)
+        assert again.cache_hits == 4
+        assert again.workloads_unique == 0
+        assert again.workloads_built == 0
+
+
+class TestWorkerConfiguration:
+    def test_default_workers_parses_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_workers() == 3
+
+    def test_default_workers_floors_at_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        assert default_workers() == 1
+
+    def test_default_workers_warns_on_garbage(self, monkeypatch, capsys):
+        """An unparseable REPRO_JOBS must be named, not swallowed."""
+        monkeypatch.setenv("REPRO_JOBS", "four")
+        assert default_workers() == 1
+        err = capsys.readouterr().err
+        assert "REPRO_JOBS" in err and "four" in err
 
     def test_cache_file_contains_cell_echo(self, cache):
         cell = tiny_cells()[0]
