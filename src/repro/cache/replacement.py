@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Any, List
+from typing import Any, List, Optional
 
 
 class ReplacementPolicy(ABC):
@@ -184,15 +184,21 @@ class DIPPolicy(ReplacementPolicy):
             state.append(way)  # insert at LRU position
 
 
-def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
-    """Construct a replacement policy from a config string."""
+def make_policy(name: str, seed: Optional[int] = None) -> ReplacementPolicy:
+    """Construct a replacement policy from a config string.
+
+    ``seed=None`` (the default) selects each seeded policy's own default
+    seed; any explicit seed — including 0 — is honored. (A former
+    ``seed or DEFAULT`` idiom silently replaced an explicit 0 with the
+    default, so seed-0 runs were not reproducing their configuration.)
+    """
     name = name.lower()
     if name == "lru":
         return LRUPolicy()
     if name == "random":
-        return RandomPolicy(seed=seed or 0xC0FFEE)
+        return RandomPolicy(seed=0xC0FFEE if seed is None else seed)
     if name == "nru":
         return NRUPolicy()
     if name == "dip":
-        return DIPPolicy(seed=seed or 0xD1B)
+        return DIPPolicy(seed=0xD1B if seed is None else seed)
     raise ValueError(f"unknown replacement policy: {name!r}")

@@ -386,6 +386,71 @@ def _golden_main(argv: List[str]) -> int:
     return 0
 
 
+def build_check_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description=(
+            "Differential correctness check: fuzz the inlined DramDevice "
+            "hot path against the reference oracle (bit-identical "
+            "AccessResults, timelines, and stats), run paired full-system "
+            "simulations, and exercise the runtime invariant layer "
+            "(see repro.verify)"
+        ),
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=25,
+        metavar="N",
+        help="randomized streams per device config (default 25)",
+    )
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=350,
+        metavar="N",
+        help="accesses per device stream (default 350)",
+    )
+    parser.add_argument(
+        "--system-seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="paired full-system runs (default: seeds // 10, min 1)",
+    )
+    parser.add_argument(
+        "--reads",
+        type=int,
+        default=300,
+        metavar="N",
+        help="trace reads per core in the system runs (default 300)",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print per-config progress while the matrix runs",
+    )
+    return parser
+
+
+def _check_main(argv: List[str]) -> int:
+    from repro.verify import run_check
+
+    args = build_check_parser().parse_args(argv)
+    if args.seeds < 1:
+        print(f"--seeds must be >= 1, got {args.seeds}", file=sys.stderr)
+        return 2
+    report = run_check(
+        seeds=args.seeds,
+        accesses=args.accesses,
+        system_seeds=args.system_seeds,
+        reads_per_core=args.reads,
+        progress=print if args.report else None,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def build_breakdown_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro breakdown",
@@ -656,6 +721,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _bench_main(argv[1:])
     if argv and argv[0] == "golden":
         return _golden_main(argv[1:])
+    if argv and argv[0] == "check":
+        return _check_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
@@ -667,7 +734,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "  sweep (see 'repro sweep --help')\n"
             "  breakdown (see 'repro breakdown --help')\n"
             "  bench (see 'repro bench --help')\n"
-            "  golden (see 'repro golden --help')"
+            "  golden (see 'repro golden --help')\n"
+            "  check (see 'repro check --help')"
         )
         return 0
 

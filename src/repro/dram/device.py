@@ -16,6 +16,12 @@ plus a bounded interference term: at most one in-flight background burst
 watermark (modeling forced write-drain when buffers fill). Demand service
 pushes pending background work back, conserving total occupancy.
 
+Both the block cap and the watermark are sized in the *resource's own*
+service units: a bank serves one background line in ``t_cas + line_burst``
+cycles, the channel bus in ``line_burst`` cycles, so each resource tolerates
+``BACKGROUND_BACKLOG_OPS`` buffered background lines before demand traffic
+is throttled into the drain.
+
 This keeps the two properties the paper's analysis needs:
 
 1. Isolated accesses reproduce the Figure 3 latency structure exactly
@@ -156,7 +162,11 @@ class PriorityTimeline:
 
     ``DramDevice.access`` inlines this arithmetic for speed; this class is
     the reference implementation (and what unit tests exercise directly).
-    Any behavioral change here must be mirrored in the inlined copy.
+    Any behavioral change here must be mirrored in the inlined copy — and
+    the mirror contract is enforced continuously by
+    :class:`repro.verify.oracle.OracleDramDevice` plus the differential
+    fuzzer behind ``repro check``, which drive both implementations with
+    identical streams and require bit-identical results.
     """
 
     __slots__ = ("demand_free", "all_free")
@@ -236,6 +246,12 @@ class DramDevice:
         self._line_burst = timings.line_burst
         self._block_cap_value = timings.t_cas + timings.line_burst
         self._watermark_value = BACKGROUND_BACKLOG_OPS * self._block_cap_value
+        # The bus serves one background line in ``line_burst`` cycles, so
+        # its watermark is sized in bus-service units (the bank-sized
+        # watermark previously used here made the bus drain threshold ~8x
+        # too deep — adjudicated by the differential oracle, see
+        # ``repro.verify``).
+        self._bus_watermark_value = BACKGROUND_BACKLOG_OPS * timings.line_burst
         # Bytes for a full-line burst; int(burst * LINE_SIZE / line_burst)
         # is exact for burst == line_burst, so the fast path is identical.
         self._full_line_bytes = int(
@@ -251,6 +267,7 @@ class DramDevice:
             self._line_burst,
             self._block_cap_value,
             self._watermark_value,
+            self._bus_watermark_value,
             self._full_line_bytes,
             float(self._t_act),
             float(self._act_conflict),
@@ -322,8 +339,17 @@ class DramDevice:
         return self._block_cap_value
 
     def _watermark(self) -> float:
-        """Background backlog tolerated before demand throttling."""
+        """Background bank backlog tolerated before demand throttling."""
         return self._watermark_value
+
+    def _bus_block_cap(self) -> float:
+        """Maximum demand blocking behind background on the bus: one burst."""
+        return self._line_burst
+
+    def _bus_watermark(self) -> float:
+        """Background bus backlog tolerated before demand throttling,
+        in bus-service units (one background line = ``line_burst`` cycles)."""
+        return self._bus_watermark_value
 
     def access(
         self,
@@ -347,6 +373,7 @@ class DramDevice:
             line_burst,
             block_cap,
             watermark,
+            bus_watermark,
             full_line_bytes,
             t_act_f,
             act_conflict_f,
@@ -408,7 +435,7 @@ class DramDevice:
             backlog = bus.all_free - bus_start
             if backlog > 0:
                 blocked = backlog if backlog <= line_burst else line_burst
-                drain = backlog - watermark
+                drain = backlog - bus_watermark
                 bus_start += blocked + (drain if drain > 0.0 else 0.0)
             bus.demand_free = bus_start + burst_cycles
             free = bus.all_free

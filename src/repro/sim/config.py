@@ -65,6 +65,12 @@ class SystemConfig:
     #: (hit/read latency p95, per-stage p95) come back empty. A perf knob
     #: for sweeps that only consume means.
     track_percentiles: bool = True
+    #: Install the runtime invariant layer (:mod:`repro.verify.invariants`)
+    #: on this system: per-access timing-order/decomposition checks plus
+    #: end-of-run conservation audits. Also enabled by ``REPRO_VERIFY=1``.
+    #: Off by default and genuinely zero-cost when off (nothing is
+    #: installed, the hot path gains no branches).
+    verify: bool = False
 
     @property
     def scaled_cache_bytes(self) -> int:

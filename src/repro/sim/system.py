@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Callable, List, Union
+from typing import Callable, List, Optional, Union
 
 from repro.dram.device import DramDevice
 from repro.dram.energy import system_energy
@@ -49,6 +49,7 @@ class System:
         design: Union[str, Callable],
         workload: Workload,
         warmup_fraction: float = 0.25,
+        device_cls: Optional[type] = None,
     ) -> None:
         if workload.num_cores != config.num_cores:
             raise ValueError(
@@ -59,10 +60,14 @@ class System:
         self.workload = workload
         self.warmup_fraction = warmup_fraction
 
-        self.memory = DramDevice(
+        # ``device_cls`` swaps the DRAM device implementation — used by the
+        # differential fuzzer to run whole systems against the reference
+        # OracleDramDevice (repro.verify) with everything else identical.
+        device_cls = device_cls or DramDevice
+        self.memory = device_cls(
             config.offchip, name="memory", page_policy=config.offchip_page_policy
         )
-        self.stacked = DramDevice(
+        self.stacked = device_cls(
             config.stacked, name="stacked", page_policy=config.stacked_page_policy
         )
         self._heap: List = []
@@ -88,6 +93,11 @@ class System:
                 design, config, self.stacked, self.memory, self.schedule
             )
         self._cores: List[Core] = []
+        # Invariant layer: installed only when explicitly enabled (config
+        # flag or REPRO_VERIFY=1); None means the hot path is untouched.
+        from repro.verify.invariants import maybe_install
+
+        self.checker = maybe_install(self, config.verify)
 
     # ------------------------------------------------------------------
     # Scheduler used by designs for background work
@@ -224,7 +234,7 @@ class System:
         }
         elapsed = max(per_core) if per_core else 0.0
         energy = system_energy(self.memory, self.stacked)
-        return SimResult(
+        result = SimResult(
             workload=self.workload.name,
             design=design.name,
             cycles=cycles,
@@ -251,3 +261,6 @@ class System:
             unattributed_cycles=design.unattributed_cycles,
             heap_events=self.events_processed,
         )
+        if self.checker is not None:
+            self.checker.check_final(self, result)
+        return result

@@ -97,6 +97,9 @@ class Histogram:
         """Approximate percentile: the smallest bucket edge covering ``q``.
 
         Returns ``inf`` when the q-th sample falls in the overflow bucket.
+        ``q=0.0`` returns the upper edge of the first *non-empty* bucket
+        (the bucket actually holding the minimum sample), not ``edges[0]``
+        regardless of occupancy.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be within [0, 1]")
@@ -106,7 +109,7 @@ class Histogram:
         running = 0
         for i, edge in enumerate(self.edges):
             running += self.counts[i]
-            if running / total >= q:
+            if running and running / total >= q:
                 return edge
         return float("inf")
 

@@ -1,0 +1,244 @@
+"""Runtime invariant layer for device accesses and request lifecycles.
+
+Enabled per-system via ``SystemConfig(verify=True)`` or the ``REPRO_VERIFY=1``
+environment variable. The design is pay-for-use: when disabled, *nothing* is
+installed — no wrapper objects, no extra branches on the hot path — so the
+default configuration runs exactly the code it ran before this module
+existed. When enabled, :class:`InvariantChecker` rebinds the system's device
+``access`` methods and the design's ``handle`` as checking wrappers
+(instance attributes shadow the class methods), and
+:meth:`~repro.sim.system.System._collect` runs the end-of-run conservation
+checks.
+
+Checked invariants
+------------------
+Per device access (every access, demand and background):
+
+* ``now <= start <= data_ready <= done`` — time never runs backwards
+  through the bank/bus pipeline;
+* ``queue_delay == start - now`` and ``bus_queue_delay >= 0`` — no
+  negative queueing;
+* ``queue_delay + act + cas + bus_queue + burst == done - now`` — the
+  five stage fields decompose the access exactly (to float-association
+  tolerance).
+
+Per demand read (design level):
+
+* the returned :class:`~repro.lifecycle.LatencyBreakdown` exists, has no
+  negative stages, and its total equals ``done - issue``.
+
+Per run (device and design totals):
+
+* ``row_hits + activations == accesses`` and ``reads + writes == accesses``
+  on every device;
+* ``unattributed_cycles == 0`` — the lifecycle audit found no missing
+  cycles anywhere in the run.
+
+A violation raises :class:`InvariantViolation` (an ``AssertionError``
+subclass) naming the invariant and its context, so fuzzers and CI fail
+loudly instead of averaging the corruption away.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.dram.device import AccessResult, DramDevice
+
+#: Float-association tolerance for sum-style invariants (matches the
+#: lifecycle audit's ATTRIBUTION_EPSILON in repro.dramcache.base).
+EPSILON = 1e-6
+
+
+def verify_enabled(flag: bool = False) -> bool:
+    """True when the invariant layer should be installed: the explicit
+    config ``flag``, or ``REPRO_VERIFY`` set to anything but ''/'0'."""
+    return flag or os.environ.get("REPRO_VERIFY", "0") not in ("", "0")
+
+
+class InvariantViolation(AssertionError):
+    """A model invariant failed; the message names invariant and context."""
+
+
+class InvariantChecker:
+    """Installs per-access / per-request checks on one System's hot path.
+
+    One checker per :class:`~repro.sim.system.System`; ``install`` wraps the
+    two devices and the design, ``check_final`` runs the end-of-run
+    conservation checks. The wrappers preserve signatures, so designs and
+    the event loop are oblivious to being checked.
+    """
+
+    def __init__(self) -> None:
+        self.accesses_checked = 0
+        self.reads_checked = 0
+
+    # ------------------------------------------------------------------
+    # Installation
+    # ------------------------------------------------------------------
+    def install(self, system) -> None:
+        self.wrap_device(system.memory)
+        self.wrap_device(system.stacked)
+        self.wrap_design(system.design)
+
+    def wrap_device(self, device: DramDevice) -> None:
+        """Rebind ``device.access`` to a checking wrapper (instance
+        attribute shadowing the class method; ``access_line`` dispatches
+        through it automatically)."""
+        inner = device.access
+        name = device.name
+        checker = self
+
+        def checked_access(
+            now, loc, burst_cycles=None, is_write=False, background=False
+        ):
+            result = inner(
+                now,
+                loc,
+                burst_cycles,
+                is_write=is_write,
+                background=background,
+            )
+            checker.check_access(name, now, result)
+            return result
+
+        device.access = checked_access
+
+    def wrap_design(self, design) -> None:
+        """Rebind ``design.handle`` to audit every demand read's outcome."""
+        inner = design.handle
+        checker = self
+
+        def checked_handle(request):
+            issue = request.issue_cycle
+            is_write = request.is_write
+            outcome = inner(request)
+            checker.check_outcome(design.name, issue, is_write, outcome)
+            return outcome
+
+        design.handle = checked_handle
+
+    # ------------------------------------------------------------------
+    # Per-event checks
+    # ------------------------------------------------------------------
+    def check_access(self, device: str, now: float, result: AccessResult) -> None:
+        """Per-access timing-order and decomposition invariants."""
+        self.accesses_checked += 1
+        if not now <= result.start <= result.data_ready <= result.done:
+            raise InvariantViolation(
+                f"{device}: access timeline out of order at now={now}: "
+                f"start={result.start} data_ready={result.data_ready} "
+                f"done={result.done}"
+            )
+        if result.queue_delay != result.start - now:
+            raise InvariantViolation(
+                f"{device}: queue_delay {result.queue_delay} != "
+                f"start - now = {result.start - now}"
+            )
+        if result.queue_delay < 0 or result.bus_queue_delay < 0:
+            raise InvariantViolation(
+                f"{device}: negative queue delay at now={now}: "
+                f"queue={result.queue_delay} bus_queue={result.bus_queue_delay}"
+            )
+        total = (
+            result.queue_delay
+            + result.act_cycles
+            + result.cas_cycles
+            + result.bus_queue_delay
+            + result.burst_cycles
+        )
+        if abs(total - (result.done - now)) > EPSILON:
+            raise InvariantViolation(
+                f"{device}: stage fields sum to {total}, access took "
+                f"{result.done - now} (now={now})"
+            )
+
+    def check_outcome(
+        self, design: str, issue: float, is_write: bool, outcome
+    ) -> None:
+        """Per-request lifecycle invariants on the design's outcome."""
+        if is_write:
+            return  # posted: no observed latency, no breakdown
+        self.reads_checked += 1
+        if outcome.done < issue:
+            raise InvariantViolation(
+                f"{design}: read done={outcome.done} before issue={issue}"
+            )
+        breakdown = outcome.breakdown
+        if breakdown is None:
+            raise InvariantViolation(
+                f"{design}: demand read returned no latency breakdown"
+            )
+        total = 0.0
+        for stage, cycles in breakdown.items():
+            if cycles < 0:
+                raise InvariantViolation(
+                    f"{design}: negative cycles {cycles} in stage "
+                    f"{stage!r} (issue={issue})"
+                )
+            total += cycles
+        if abs(total - (outcome.done - issue)) > EPSILON:
+            raise InvariantViolation(
+                f"{design}: breakdown total {total} != end-to-end latency "
+                f"{outcome.done - issue} (issue={issue})"
+            )
+
+    # ------------------------------------------------------------------
+    # End-of-run checks
+    # ------------------------------------------------------------------
+    def check_device_totals(self, device: DramDevice) -> None:
+        """Counter conservation on one device's flushed stats."""
+        stats = device.stats
+        accesses = stats.counter("accesses").value
+        row_hits = stats.counter("row_hits").value
+        activations = stats.counter("activations").value
+        if row_hits + activations != accesses:
+            raise InvariantViolation(
+                f"{device.name}: row_hits {row_hits} + activations "
+                f"{activations} != accesses {accesses}"
+            )
+        reads = stats.counter("read_accesses").value
+        writes = stats.counter("write_accesses").value
+        if reads + writes != accesses:
+            raise InvariantViolation(
+                f"{device.name}: reads {reads} + writes {writes} != "
+                f"accesses {accesses}"
+            )
+        background = stats.counter("background_accesses").value
+        if background > accesses:
+            raise InvariantViolation(
+                f"{device.name}: background_accesses {background} > "
+                f"accesses {accesses}"
+            )
+
+    def check_final(self, system, result) -> None:
+        """Run the end-of-run conservation checks and audit the result."""
+        self.check_device_totals(system.memory)
+        self.check_device_totals(system.stacked)
+        unattributed = system.design.unattributed_cycles
+        if unattributed != 0.0:
+            raise InvariantViolation(
+                f"{system.design.name}: lifecycle audit left "
+                f"{unattributed} unattributed cycles"
+            )
+        if result.unattributed_cycles != 0.0:
+            raise InvariantViolation(
+                f"SimResult carries unattributed_cycles="
+                f"{result.unattributed_cycles}"
+            )
+        for core_id, cycles in enumerate(result.per_core_cycles):
+            if cycles < 0:
+                raise InvariantViolation(
+                    f"core {core_id} finished at negative cycle {cycles}"
+                )
+
+
+def maybe_install(system, flag: bool = False) -> Optional[InvariantChecker]:
+    """Install a checker on ``system`` when enabled; None when off (the
+    zero-cost default — no wrappers exist, the hot path is untouched)."""
+    if not verify_enabled(flag):
+        return None
+    checker = InvariantChecker()
+    checker.install(system)
+    return checker

@@ -1,0 +1,109 @@
+"""The oracle device: ``DramDevice`` with nothing inlined.
+
+:class:`OracleDramDevice` is a drop-in :class:`~repro.dram.device.DramDevice`
+whose ``access`` is written the straightforward way — every bank and bus
+reservation goes through the reference
+:meth:`~repro.dram.device.PriorityTimeline.reserve`, every statistic through
+real :meth:`~repro.stats.Accumulator.sample` / ``Counter.add`` calls — built
+from the same :class:`~repro.dram.timings.DramTimings` and the same
+block-cap/watermark policy methods as the production device.
+
+Because the inlined hot path was derived expression-for-expression from
+exactly these calls, the two implementations must agree *bit-for-bit*: same
+``AccessResult`` fields, same timeline states, same flushed stats. The
+differential fuzzer (:mod:`repro.verify.fuzzer`) asserts that equivalence
+over randomized streams; any divergence means the mirror contract in
+``device.py`` was broken.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.device import AccessResult, DramDevice
+from repro.dram.mapping import RowLocation
+from repro.units import LINE_SIZE
+
+
+class OracleDramDevice(DramDevice):
+    """Reference implementation of the DRAM device access path.
+
+    Inherits all construction, geometry, policy constants, introspection and
+    reset behavior from :class:`DramDevice`; only the hot ``access`` method
+    is replaced by the un-inlined reference composition. ``access_line``
+    dispatches through ``self.access`` and therefore uses this method too.
+    """
+
+    def access(
+        self,
+        now: float,
+        loc: RowLocation,
+        burst_cycles: Optional[int] = None,
+        is_write: bool = False,
+        background: bool = False,
+    ) -> AccessResult:
+        timings = self.timings
+        line_burst = timings.line_burst
+        if burst_cycles is None:
+            burst_cycles = line_burst
+
+        bank_idx = loc.channel * timings.banks_per_channel + loc.bank
+        open_row = self._open_row[bank_idx]
+        row_hit = open_row == loc.row
+        if row_hit:
+            act_cycles = 0
+        elif open_row is None:
+            act_cycles = timings.t_act
+        else:
+            act_cycles = timings.t_rp + timings.t_act
+        core_latency = act_cycles + timings.t_cas
+        bank_service = core_latency + burst_cycles
+
+        start = self._banks[bank_idx].reserve(
+            now, bank_service, background, self._block_cap(), self._watermark()
+        )
+        queue_delay = start - now
+        data_ready = start + core_latency
+
+        bus_start = self._buses[loc.channel].reserve(
+            data_ready,
+            burst_cycles,
+            background,
+            self._bus_block_cap(),
+            self._bus_watermark(),
+        )
+        bus_queue_delay = bus_start - data_ready
+        done = bus_start + burst_cycles
+        self._open_row[bank_idx] = loc.row if self.page_policy == "open" else None
+
+        stats = self._stats
+        stats.counter("accesses").add()
+        if row_hit:
+            stats.counter("row_hits").add()
+        else:
+            stats.counter("activations").add()
+        stats.counter("write_accesses" if is_write else "read_accesses").add()
+        if background:
+            stats.counter("background_accesses").add()
+        stats.counter("bus_cycles").add(burst_cycles)
+        stats.counter("bytes_on_bus").add(
+            int(burst_cycles * LINE_SIZE / line_burst)
+        )
+        stats.accumulator("queue_delay").sample(queue_delay)
+        stats.accumulator("bus_queue_delay").sample(bus_queue_delay)
+        if not background:
+            stats.accumulator("demand_queue_delay").sample(queue_delay)
+            stats.accumulator("demand_bus_queue_delay").sample(bus_queue_delay)
+        stats.accumulator("access_latency").sample(done - now)
+
+        return AccessResult(
+            start,
+            data_ready,
+            done,
+            row_hit,
+            queue_delay,
+            bus_queue_delay,
+            float(act_cycles),
+            float(timings.t_cas),
+            float(burst_cycles),
+        )

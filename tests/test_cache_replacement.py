@@ -164,3 +164,29 @@ class TestFactory:
     def test_unknown_raises(self):
         with pytest.raises(ValueError, match="unknown replacement policy"):
             make_policy("plru")
+
+    def test_explicit_seed_zero_is_honored(self):
+        # ``seed=0`` must configure seed 0, not silently fall back to the
+        # default (the old ``seed or DEFAULT`` bug).
+        def draws(policy):
+            return [policy.victim_way(8, 0) for _ in range(16)]
+
+        zero_draws = draws(make_policy("random", seed=0))
+        assert zero_draws == draws(RandomPolicy(seed=0))
+        assert zero_draws != draws(make_policy("random"))
+
+    def test_explicit_seed_zero_dip(self):
+        # DIP's randomness drives bimodal insertion; seed 0 must configure
+        # the same stream as a directly constructed DIPPolicy(seed=0).
+        a = make_policy("dip", seed=0)
+        b = DIPPolicy(seed=0)
+        assert [a._rng.randrange(32) for _ in range(16)] == [
+            b._rng.randrange(32) for _ in range(16)
+        ]
+
+    def test_default_seed_is_deterministic(self):
+        a = make_policy("random")
+        b = make_policy("random")
+        assert [a.victim_way(8, 0) for _ in range(16)] == [
+            b.victim_way(8, 0) for _ in range(16)
+        ]

@@ -162,6 +162,45 @@ class TestPriorityTimeline:
         assert t.backlog_at(50.0) == 0.0
 
 
+class TestPriorityTimelineBoundaries:
+    """Pin the reference ``reserve`` on the exact boundaries the
+    differential fuzzer hugs — so the reference itself is locked, not
+    just the inlined mirror."""
+
+    def test_backlog_exactly_block_cap(self):
+        t = PriorityTimeline()
+        t.reserve(0.0, 5.0, True, 5.0, 100.0)
+        # Backlog == block_cap: blocked by the whole backlog, nothing
+        # capped away, no drain.
+        assert t.reserve(0.0, 10.0, False, 5.0, 100.0) == 5.0
+
+    def test_backlog_one_past_block_cap(self):
+        t = PriorityTimeline()
+        t.reserve(0.0, 6.0, True, 5.0, 100.0)
+        # One cycle past the cap: blocking saturates at block_cap.
+        assert t.reserve(0.0, 10.0, False, 5.0, 100.0) == 5.0
+
+    def test_backlog_exactly_watermark(self):
+        t = PriorityTimeline()
+        t.reserve(0.0, 100.0, True, 5.0, 100.0)
+        # At the watermark the drain term is still zero.
+        assert t.reserve(0.0, 10.0, False, 5.0, 100.0) == 5.0
+
+    def test_backlog_one_past_watermark(self):
+        t = PriorityTimeline()
+        t.reserve(0.0, 101.0, True, 5.0, 100.0)
+        # block_cap blocking plus exactly the 1-cycle excess drain.
+        assert t.reserve(0.0, 10.0, False, 5.0, 100.0) == 6.0
+
+    def test_demand_conserves_total_occupancy_at_boundaries(self):
+        for backlog in (5.0, 6.0, 100.0, 101.0):
+            t = PriorityTimeline()
+            t.reserve(0.0, backlog, True, 5.0, 100.0)
+            start = t.reserve(0.0, 10.0, False, 5.0, 100.0)
+            assert t.demand_free == start + 10.0
+            assert t.all_free == backlog + 10.0
+
+
 class TestAccessLine:
     def test_uses_mapping(self, memory):
         r1 = memory.access_line(0.0, 0)
@@ -292,6 +331,57 @@ class TestWriteDrainWatermark:
             block_cap + (backlog - watermark)
         )
         _assert_exact_decomposition(demand, 0.0)
+
+
+class TestBusWatermark:
+    """Locks the adjudicated bus drain threshold: ``BACKGROUND_BACKLOG_OPS``
+    ops sized in *bus* service units (``line_burst`` cycles each), not the
+    bank-sized watermark the bus path historically inherited."""
+
+    def test_bus_watermark_is_sized_in_bus_service_units(self, stacked):
+        assert stacked._bus_watermark() == (
+            BACKGROUND_BACKLOG_OPS * STACKED_DRAM.line_burst
+        )
+        assert stacked._bus_block_cap() == STACKED_DRAM.line_burst
+        # And it is genuinely distinct from the bank watermark.
+        assert stacked._bus_watermark() != stacked._watermark()
+
+    def test_bus_backlog_at_watermark_blocks_one_burst_only(self, stacked):
+        bus_watermark = BACKGROUND_BACKLOG_OPS * STACKED_DRAM.line_burst
+        # Park exactly watermark-many bus cycles on channel 0 via an
+        # oversized background burst on the other bank.
+        stacked.access(0.0, OTHER_BANK, bus_watermark, background=True)
+        demand = stacked.access(0.0, LOC)
+        # data_ready lands while bus backlog == watermark: no drain, just
+        # the one unpreemptable burst (the bus block cap).
+        assert demand.bus_queue_delay == pytest.approx(
+            STACKED_DRAM.line_burst
+        )
+
+    def test_bus_backlog_past_watermark_forces_drain(self, stacked):
+        bus_watermark = BACKGROUND_BACKLOG_OPS * STACKED_DRAM.line_burst
+        excess = 8.0
+        stacked.access(
+            0.0, OTHER_BANK, bus_watermark + excess, background=True
+        )
+        demand = stacked.access(0.0, LOC)
+        assert demand.bus_queue_delay == pytest.approx(
+            STACKED_DRAM.line_burst + excess
+        )
+        _assert_exact_decomposition(demand, 0.0)
+
+    def test_old_bank_sized_threshold_would_never_drain_here(self, stacked):
+        # Regression guard for the adjudicated bug: a backlog well past the
+        # bus watermark but far below the bank-sized one (176 cycles for
+        # stacked) must already be draining.
+        bank_watermark = BACKGROUND_BACKLOG_OPS * (
+            STACKED_DRAM.t_cas + STACKED_DRAM.line_burst
+        )
+        backlog = 48.0
+        assert backlog < bank_watermark
+        stacked.access(0.0, OTHER_BANK, backlog, background=True)
+        demand = stacked.access(0.0, LOC)
+        assert demand.bus_queue_delay > STACKED_DRAM.line_burst
 
 
 class TestUtilities:

@@ -76,6 +76,42 @@ class TestHistogram:
     def test_fraction_empty(self):
         assert Histogram("lat", [1]).fraction_at_or_below(1) == 0.0
 
+    def test_percentile_q0_skips_empty_leading_buckets(self):
+        # The minimum sample lives in the second bucket; q=0.0 must report
+        # that bucket's upper edge, not edges[0] of an empty bucket.
+        h = Histogram("lat", [10, 100, 1000])
+        h.sample(50)
+        h.sample(500)
+        assert h.percentile(0.0) == 100
+        assert h.percentile(1.0) == 1000
+
+    def test_percentile_q0_first_bucket_occupied(self):
+        h = Histogram("lat", [10, 100])
+        h.sample(5)
+        assert h.percentile(0.0) == 10
+
+    def test_percentile_single_bucket(self):
+        h = Histogram("lat", [10])
+        h.sample(3)
+        assert h.percentile(0.0) == 10
+        assert h.percentile(0.5) == 10
+        assert h.percentile(1.0) == 10
+
+    def test_percentile_overflow_only(self):
+        h = Histogram("lat", [10])
+        h.sample(99)
+        assert h.percentile(0.0) == float("inf")
+        assert h.percentile(1.0) == float("inf")
+
+    def test_percentile_empty_and_bounds(self):
+        h = Histogram("lat", [10])
+        assert h.percentile(0.0) == 0.0
+        assert h.percentile(1.0) == 0.0
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+
     def test_bisect_matches_linear_scan(self):
         """Micro-assertion: bucket assignment is unchanged by the bisect
         rewrite of ``sample`` (including exact edges and overflow)."""
