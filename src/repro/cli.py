@@ -225,6 +225,26 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="allowed fractional events/sec regression (default 0.30)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("interp", "batch"),
+        default="",
+        help=(
+            "simulation engine to time (default: the SystemConfig default, "
+            "i.e. the interpreter unless REPRO_ENGINE overrides it)"
+        ),
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="F",
+        help=(
+            "require every shared cell to beat the (host-scaled) baseline "
+            "by at least this factor; exits nonzero otherwise (CI proof "
+            "that --engine batch outruns the interpreter baseline)"
+        ),
+    )
+    parser.add_argument(
         "--label",
         default="",
         help="free-form label recorded in the payload (e.g. a commit id)",
@@ -304,6 +324,7 @@ def _bench_main(argv: List[str]) -> int:
         designs,
         benchmarks,
         reads_per_core=args.reads or perf_bench.DEFAULT_READS,
+        engine=args.engine,
     )
 
     def progress(timing):
@@ -323,12 +344,13 @@ def _bench_main(argv: List[str]) -> int:
     payload = run.to_payload(label=args.label)
 
     status = 0
+    gate = args.check or args.min_speedup is not None
     baseline_path = Path(args.baseline) if args.baseline else None
-    if baseline_path is None and args.check:
+    if baseline_path is None and gate:
         baseline_path = perf_bench.latest_bench_file(Path("."))
         if baseline_path is None:
             print(
-                "bench --check: no BENCH_*.json baseline found in the cwd",
+                "bench: no BENCH_*.json baseline found in the cwd",
                 file=sys.stderr,
             )
             return 2
@@ -339,16 +361,20 @@ def _bench_main(argv: List[str]) -> int:
             print(f"bench: cannot load baseline: {exc}", file=sys.stderr)
             return 2
         comparison = perf_bench.compare(
-            payload, baseline, tolerance=args.tolerance
+            payload,
+            baseline,
+            tolerance=args.tolerance,
+            min_speedup=args.min_speedup or 0.0,
         )
         comparison["baseline_path"] = str(baseline_path)
         payload["comparison"] = comparison
         print()
         print(perf_bench.render_comparison(comparison))
-        if args.check and comparison["verdict"] != "pass":
+        if gate and comparison["verdict"] != "pass":
             print(
-                f"bench --check: verdict {comparison['verdict']} "
-                f"(regressions: {', '.join(comparison['regressions']) or 'n/a'})",
+                f"bench: verdict {comparison['verdict']} "
+                f"(failing cells: "
+                f"{', '.join(comparison['regressions']) or 'n/a'})",
                 file=sys.stderr,
             )
             status = 1

@@ -65,6 +65,11 @@ class BenchCell:
     reads_per_core: int = DEFAULT_READS
     warmup_fraction: float = 0.25
     seed: int = 1
+    #: Simulation engine ("" = the SystemConfig default). Deliberately NOT
+    #: part of :attr:`cell_id`: both engines are bit-exact, so a batch run
+    #: compares directly against the committed interpreter baseline — that
+    #: comparison *is* the speedup measurement.
+    engine: str = ""
 
     @property
     def cell_id(self) -> str:
@@ -81,6 +86,7 @@ def make_bench_grid(
     reads_per_core: int = DEFAULT_READS,
     warmup_fraction: float = 0.25,
     seed: int = 1,
+    engine: str = "",
 ) -> List[BenchCell]:
     """The full (design x benchmark) grid at one pinned trace length."""
     return [
@@ -90,6 +96,7 @@ def make_bench_grid(
             reads_per_core=reads_per_core,
             warmup_fraction=warmup_fraction,
             seed=seed,
+            engine=engine,
         )
         for design in designs
         for benchmark in benchmarks
@@ -113,6 +120,8 @@ class CellTiming:
     trace_build_seconds: float = 0.0
     #: Where the workload came from: ``built`` / ``npz`` / ``memo``.
     trace_source: str = ""
+    #: Engine that actually produced the results (``System.engine_used``).
+    engine_used: str = "interp"
 
     @property
     def wall_median(self) -> float:
@@ -138,6 +147,8 @@ def time_cell(
     :class:`BenchDeterminismError` otherwise) — the persistent sweep cache
     is bypassed entirely, this always simulates.
     """
+    from dataclasses import replace
+
     from repro.sim.system import System
     from repro.workloads.arena import WorkloadParams, get_workload_arena
     from repro.workloads.spec import get_benchmark
@@ -148,6 +159,8 @@ def time_cell(
         raise ValueError(f"discard must be >= 0, got {discard}")
 
     config = _bench_config()
+    if cell.engine:
+        config = replace(config, engine=cell.engine)
     # Materialize through the content-keyed arena so the harness reports
     # the trace-build/sim split (and benefits from persisted arenas).
     workload, trace_telemetry = get_workload_arena().fetch(
@@ -164,6 +177,7 @@ def time_cell(
     walls: List[float] = []
     discarded: List[float] = []
     result = None
+    engine_used = "interp"
     for run_index in range(discard + repeats):
         system = System(
             config, cell.design, workload, warmup_fraction=cell.warmup_fraction
@@ -171,6 +185,13 @@ def time_cell(
         started = time.perf_counter()
         result = system.run()
         wall = time.perf_counter() - started
+        engine_used = system.engine_used
+        if cell.engine and engine_used != cell.engine:
+            raise BenchDeterminismError(
+                f"cell {cell.cell_id}: requested engine {cell.engine!r} "
+                f"but the run used {engine_used!r} — the timing would "
+                "measure the wrong engine"
+            )
         fields = result.to_dict()
         if reference is None:
             reference = fields
@@ -189,6 +210,7 @@ def time_cell(
         result=result,
         trace_build_seconds=float(trace_telemetry["trace_build_seconds"]),
         trace_source=str(trace_telemetry["trace_source"]),
+        engine_used=engine_used,
     )
 
 
@@ -225,6 +247,8 @@ class BenchRun:
                 "events_per_sec": t.events_per_sec,
                 "trace_build_seconds": t.trace_build_seconds,
                 "trace_source": t.trace_source,
+                "engine": c.engine,
+                "engine_used": t.engine_used,
                 "cycles": t.result.cycles,
                 "read_hit_rate": t.result.read_hit_rate,
             }
@@ -343,19 +367,26 @@ def latest_bench_file(root: Path = Path(".")) -> Optional[Path]:
 
 
 def compare(
-    current: Dict, baseline: Dict, tolerance: float = 0.30
+    current: Dict,
+    baseline: Dict,
+    tolerance: float = 0.30,
+    min_speedup: float = 0.0,
 ) -> Dict:
     """Gate ``current`` events/sec against ``baseline`` per shared cell.
 
     A cell *fails* when its (calibration-normalized) events/sec drops below
     ``(1 - tolerance)`` of the baseline. Cells faster than
     ``(1 + tolerance)x`` are flagged as improvements — a hint the committed
-    baseline is stale — but do not fail the gate. Returns a summary dict
-    that callers can embed into the emitted payload.
+    baseline is stale — but do not fail the gate. With ``min_speedup`` the
+    gate inverts into a *floor*: every shared cell must run at least that
+    many times faster than the host-scaled baseline (how CI proves the
+    batch engine beats the committed interpreter numbers). Returns a
+    summary dict that callers can embed into the emitted payload.
     """
     cur_cal = float(current.get("calibration_ops_per_sec") or 0.0)
     base_cal = float(baseline.get("calibration_ops_per_sec") or 0.0)
     host_scale = cur_cal / base_cal if cur_cal > 0 and base_cal > 0 else 1.0
+    floor = min_speedup if min_speedup > 0 else 1.0 - tolerance
 
     cells = {}
     regressions = []
@@ -369,7 +400,7 @@ def compare(
         # Scale the baseline to the current host's calibrated speed.
         expected = base_eps * host_scale
         ratio = cur_eps / expected if expected > 0 else 0.0
-        ok = ratio >= 1.0 - tolerance
+        ok = ratio >= floor
         cells[cell_id] = {
             "baseline_events_per_sec": base_eps,
             "current_events_per_sec": cur_eps,
@@ -385,6 +416,7 @@ def compare(
         "baseline_label": baseline.get("label", ""),
         "baseline_generated": baseline.get("generated", ""),
         "tolerance": tolerance,
+        "min_speedup": min_speedup,
         "shared_cells": len(shared),
         "cells": cells,
         "regressions": regressions,
@@ -398,14 +430,28 @@ def compare(
 
 
 def render_comparison(comparison: Dict) -> str:
+    floor = float(comparison.get("min_speedup") or 0.0)
+    band = (
+        f"required speedup >= {floor:g}x"
+        if floor > 0
+        else f"tolerance ±{comparison['tolerance']:.0%}"
+    )
     lines = [
         f"vs baseline ({comparison.get('baseline_label') or 'unlabeled'}, "
         f"generated {comparison.get('baseline_generated', '?')}, "
-        f"tolerance ±{comparison['tolerance']:.0%}):"
+        f"{band}):"
     ]
     for cell_id, row in sorted(comparison["cells"].items()):
-        mark = "ok" if row["ok"] else "REGRESSION"
-        if row["ok"] and row["speedup"] > 1.0 + comparison["tolerance"]:
+        mark = (
+            "ok"
+            if row["ok"]
+            else ("BELOW FLOOR" if floor > 0 else "REGRESSION")
+        )
+        if (
+            floor <= 0
+            and row["ok"]
+            and row["speedup"] > 1.0 + comparison["tolerance"]
+        ):
             mark = "improved (baseline stale?)"
         lines.append(
             f"  {cell_id:<44} {row['baseline_events_per_sec']:>10.0f} -> "

@@ -71,6 +71,13 @@ class SystemConfig:
     #: Off by default and genuinely zero-cost when off (nothing is
     #: installed, the hot path gains no branches).
     verify: bool = False
+    #: Simulation engine: "interp" (the reference event interpreter),
+    #: "batch" (:mod:`repro.sim.batch` — vectorized precompute + compact
+    #: scalar core, bit-identical results), or "" to defer to the
+    #: ``REPRO_ENGINE`` environment variable (default: interp). The batch
+    #: engine falls back to the interpreter for configurations outside its
+    #: envelope (MLP cores, verify runs, subclassed designs/devices).
+    engine: str = ""
 
     @property
     def scaled_cache_bytes(self) -> int:

@@ -188,8 +188,15 @@ def make_cells(
 
 
 def _config_dict(config: SystemConfig) -> Dict:
-    """The frozen config flattened to JSON-safe primitives (recursively)."""
-    return asdict(config)
+    """The frozen config flattened to JSON-safe primitives (recursively).
+
+    ``engine`` is dropped: the batch engine is bit-exact with the
+    interpreter, so cached results are valid regardless of which engine
+    produced them and the cache key must not fragment on it.
+    """
+    flat = asdict(config)
+    flat.pop("engine", None)
+    return flat
 
 
 def cell_key(

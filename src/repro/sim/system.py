@@ -19,6 +19,8 @@ steady state rather than a cold cache.
 from __future__ import annotations
 
 import heapq
+import os
+import sys
 from itertools import count
 from typing import Callable, List, Optional, Union
 
@@ -98,6 +100,33 @@ class System:
         from repro.verify.invariants import maybe_install
 
         self.checker = maybe_install(self, config.verify)
+        #: Which engine actually produced the result: "interp" until the
+        #: batch engine accepts the configuration and completes a run.
+        self.engine_used = "interp"
+
+    def _resolve_engine(self) -> str:
+        """Pick the simulation engine: explicit config wins, then env.
+
+        An invalid explicit ``config.engine`` is a programming error and
+        raises; an invalid ``REPRO_ENGINE`` value only warns (environment
+        variables leak across process boundaries and must not break runs).
+        """
+        engine = self.config.engine
+        if engine:
+            if engine not in ("interp", "batch"):
+                raise ValueError(
+                    f"unknown engine {engine!r}: expected 'interp' or 'batch'"
+                )
+            return engine
+        env = os.environ.get("REPRO_ENGINE", "")
+        if env and env not in ("interp", "batch"):
+            print(
+                f"repro: ignoring invalid REPRO_ENGINE={env!r} "
+                "(expected 'interp' or 'batch')",
+                file=sys.stderr,
+            )
+            return "interp"
+        return env or "interp"
 
     # ------------------------------------------------------------------
     # Scheduler used by designs for background work
@@ -133,6 +162,15 @@ class System:
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
+        if self._resolve_engine() == "batch":
+            from repro.sim import batch
+
+            result = batch.run(self)
+            if result is not None:
+                return result
+            # Configuration outside the batch envelope: fall through to
+            # the interpreter (batch.run declines before mutating state).
+
         starts = self._warm()
         self._cores = [
             Core(core_id, trace, start_index=starts[core_id])

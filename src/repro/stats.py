@@ -113,8 +113,27 @@ class Histogram:
                 return edge
         return float("inf")
 
+    @property
+    def overflow_count(self) -> int:
+        """Samples that fell beyond the last bucket edge."""
+        return self.counts[-1]
+
+    @property
+    def overflow_fraction(self) -> float:
+        """Fraction of samples beyond the last bucket edge (0.0 if empty)."""
+        total = self.total
+        return self.counts[-1] / total if total else 0.0
+
     def fraction_at_or_below(self, edge: float) -> float:
-        """Fraction of samples in buckets whose upper edge is <= ``edge``."""
+        """Fraction of samples in buckets whose upper edge is <= ``edge``.
+
+        The overflow bucket (samples beyond the last edge) has an upper
+        edge of ``+inf``, so it is included exactly when ``edge`` is
+        ``inf`` — making ``fraction_at_or_below(float("inf")) == 1.0``
+        for any non-empty histogram. (It used to be silently excluded,
+        so the fraction could never reach 1.0 once any sample overflowed;
+        use :attr:`overflow_fraction` to inspect that mass directly.)
+        """
         if not self.total:
             return 0.0
         running = 0
@@ -122,6 +141,9 @@ class Histogram:
             if e > edge:
                 break
             running += self.counts[i]
+        else:
+            if edge == float("inf"):
+                running += self.counts[-1]
         return running / self.total
 
 

@@ -15,8 +15,10 @@ Two layers, both driven from ``repro check``:
 * **System runs** — whole paired :class:`~repro.sim.system.System`
   simulations over randomized small workloads (design, benchmark, core
   count, and page policies drawn from the seed), asserting field-identical
-  :class:`~repro.sim.results.SimResult` payloads, plus one invariant-enabled
-  run of the same cell proving the invariant layer passes on real workloads.
+  :class:`~repro.sim.results.SimResult` payloads across the interpreter,
+  the batch engine (``engine="batch"``), and the oracle-device run, plus
+  one invariant-enabled run of the same cell proving the invariant layer
+  passes on real workloads.
 
 Divergences are collected as human-readable strings (capped) rather than
 raised, so one bad seed reports every layer it broke.
@@ -204,9 +206,11 @@ def fuzz_system_pair(
     """One paired System run: inlined vs oracle devices, identical SimResult.
 
     The cell (design, benchmark, core count, page policies) is drawn from
-    the seed so a seed sweep covers the design matrix. With
-    ``check_invariants`` the same cell is run once more with the invariant
-    layer installed — violations surface as divergences.
+    the seed so a seed sweep covers the design matrix. The same cell is
+    then run a third time through the batch engine
+    (:mod:`repro.sim.batch`), which must also be field-identical to the
+    oracle. With ``check_invariants`` the cell is run once more with the
+    invariant layer installed — violations surface as divergences.
     """
     from dataclasses import replace
 
@@ -248,6 +252,22 @@ def fuzz_system_pair(
         if got[key] != want[key]:
             divergences.append(
                 f"{where}: SimResult.{key}: inlined {got[key]!r} != "
+                f"oracle {want[key]!r}"
+            )
+            if len(divergences) >= MAX_DIVERGENCES:
+                return divergences
+
+    batch_system = System(replace(config, engine="batch"), design, workload)
+    batch = dataclasses.asdict(batch_system.run())
+    if batch_system.engine_used != "batch":
+        divergences.append(
+            f"{where}: batch engine declined an in-envelope cell "
+            f"(engine_used={batch_system.engine_used!r})"
+        )
+    for key in batch:
+        if batch[key] != want[key]:
+            divergences.append(
+                f"{where}: SimResult.{key}: batch {batch[key]!r} != "
                 f"oracle {want[key]!r}"
             )
             if len(divergences) >= MAX_DIVERGENCES:

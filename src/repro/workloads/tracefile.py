@@ -65,6 +65,19 @@ def export_csv(workload: Workload, path: PathLike) -> None:
                 writer.writerow([core_id, gap, address, int(is_write), pc])
 
 
+def _parse_int(row: dict, column: str, line_num: int, path) -> int:
+    """One integer CSV field, with the file/line named on any failure."""
+    raw = row.get(column)
+    if raw is None:
+        raise ValueError(f"{path} line {line_num}: missing {column!r} value")
+    try:
+        return int(raw)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{path} line {line_num}: {column}={raw!r} is not an integer"
+        ) from None
+
+
 def import_csv(
     path: PathLike,
     name: str = "imported",
@@ -75,6 +88,13 @@ def import_csv(
     Rows may arrive in any core order; within a core, request order is
     preserved. ``instructions_per_core`` defaults to a nominal value of
     50 instructions per request (only MPKI reporting depends on it).
+
+    Malformed rows fail fast with the offending line number instead of
+    crashing deep inside the simulator: every field must parse (``gap`` as
+    a float, the rest as integers), gaps and addresses must be
+    non-negative, and the arrays are canonicalized to the generated-trace
+    dtypes (``gaps`` float64, ``is_write`` bool, ``addresses``/``pcs``
+    int64) so an imported workload is indistinguishable from a built one.
     """
     per_core: dict = {}
     with open(path, newline="") as handle:
@@ -83,13 +103,32 @@ def import_csv(
         if reader.fieldnames is None or not required <= set(reader.fieldnames):
             raise ValueError(f"CSV must have columns {sorted(required)}")
         for row in reader:
+            line_num = reader.line_num
+            raw_gap = row.get("gap")
+            try:
+                gap = float(raw_gap)
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"{path} line {line_num}: gap={raw_gap!r} is not a number"
+                ) from None
+            if not gap >= 0.0:  # also rejects NaN
+                raise ValueError(
+                    f"{path} line {line_num}: gap={raw_gap!r} must be >= 0"
+                )
+            address = _parse_int(row, "address", line_num, path)
+            if address < 0:
+                raise ValueError(
+                    f"{path} line {line_num}: address={address} must be >= 0"
+                )
             record = (
-                float(row["gap"]),
-                int(row["address"]),
-                bool(int(row["write"])),
-                int(row["pc"]),
+                gap,
+                address,
+                bool(_parse_int(row, "write", line_num, path)),
+                _parse_int(row, "pc", line_num, path),
             )
-            per_core.setdefault(int(row["core"]), []).append(record)
+            per_core.setdefault(
+                _parse_int(row, "core", line_num, path), []
+            ).append(record)
 
     if not per_core:
         raise ValueError("trace CSV contains no requests")
@@ -97,9 +136,9 @@ def import_csv(
     cores = []
     for core_id in sorted(per_core):
         records = per_core[core_id]
-        gaps = np.array([r[0] for r in records])
+        gaps = np.array([r[0] for r in records], dtype=np.float64)
         addresses = np.array([r[1] for r in records], dtype=np.int64)
-        is_write = np.array([r[2] for r in records])
+        is_write = np.array([r[2] for r in records], dtype=np.bool_)
         pcs = np.array([r[3] for r in records], dtype=np.int64)
         instructions = instructions_per_core or len(records) * 50
         cores.append(

@@ -300,8 +300,11 @@ class TestWorkerConfiguration:
         """An unparseable REPRO_JOBS must be named, not swallowed."""
         monkeypatch.setenv("REPRO_JOBS", "four")
         assert default_workers() == 1
-        err = capsys.readouterr().err
-        assert "REPRO_JOBS" in err and "four" in err
+        captured = capsys.readouterr()
+        assert "REPRO_JOBS" in captured.err and "four" in captured.err
+        # Regression: the warning once went to stdout, corrupting piped
+        # machine-readable sweep output. stdout must stay clean.
+        assert captured.out == ""
 
     def test_cache_file_contains_cell_echo(self, cache):
         cell = tiny_cells()[0]

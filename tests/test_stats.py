@@ -76,6 +76,32 @@ class TestHistogram:
     def test_fraction_empty(self):
         assert Histogram("lat", [1]).fraction_at_or_below(1) == 0.0
 
+    def test_fraction_with_overflow_samples(self):
+        # Regression: overflow samples used to vanish from the denominator's
+        # reachable mass — fraction_at_or_below could never report the
+        # overflow bucket, so no finite edge accounts for the 500 sample,
+        # but +inf (the overflow bucket's upper edge) must reach 1.0.
+        h = Histogram("lat", [10, 100])
+        for v in (1, 2, 50, 500):
+            h.sample(v)
+        assert h.fraction_at_or_below(100) == pytest.approx(0.75)
+        assert h.fraction_at_or_below(float("inf")) == pytest.approx(1.0)
+
+    def test_fraction_all_overflow(self):
+        h = Histogram("lat", [10])
+        h.sample(99)
+        assert h.fraction_at_or_below(10) == 0.0
+        assert h.fraction_at_or_below(float("inf")) == 1.0
+
+    def test_overflow_count_and_fraction(self):
+        h = Histogram("lat", [10, 100])
+        assert h.overflow_count == 0
+        assert h.overflow_fraction == 0.0
+        for v in (5, 500, 5000):
+            h.sample(v)
+        assert h.overflow_count == 2
+        assert h.overflow_fraction == pytest.approx(2 / 3)
+
     def test_percentile_q0_skips_empty_leading_buckets(self):
         # The minimum sample lives in the second bucket; q=0.0 must report
         # that bucket's upper edge, not edges[0] of an empty bucket.

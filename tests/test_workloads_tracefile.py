@@ -81,6 +81,94 @@ class TestCsvInterchange:
         assert workload.cores[0].num_writes == 1
         assert workload.cores[0].instructions == 500
 
+    def test_dtypes_canonicalized(self, tmp_path):
+        # Imported arrays must match the generated-trace dtypes exactly so
+        # downstream code (npz round-trip, the batch engine's vectorized
+        # decode) never sees an object or float32 surprise.
+        path = tmp_path / "dtypes.csv"
+        path.write_text(
+            "core,gap,address,write,pc\n"
+            "0,1.5,100,0,1024\n"
+            "0,0,101,1,1028\n"
+        )
+        trace = import_csv(path).cores[0]
+        assert trace.gaps.dtype == np.float64
+        assert trace.addresses.dtype == np.int64
+        assert trace.is_write.dtype == np.bool_
+        assert trace.pcs.dtype == np.int64
+
+    def test_dtypes_survive_npz_roundtrip(self, tmp_path):
+        path = tmp_path / "dtypes.csv"
+        path.write_text("core,gap,address,write,pc\n0,1.0,100,1,4\n")
+        workload = import_csv(path)
+        npz = tmp_path / "w.npz"
+        save_workload(workload, npz)
+        trace = load_workload(npz).cores[0]
+        assert trace.gaps.dtype == np.float64
+        assert trace.addresses.dtype == np.int64
+        assert trace.is_write.dtype == np.bool_
+        assert trace.pcs.dtype == np.int64
+
+    def test_out_of_order_core_ids(self, tmp_path):
+        # Rows for core 2 arrive before core 0; cores come back sorted by
+        # id with per-core request order preserved.
+        path = tmp_path / "ooo.csv"
+        path.write_text(
+            "core,gap,address,write,pc\n"
+            "2,1.0,200,0,8\n"
+            "0,2.0,100,0,4\n"
+            "2,3.0,201,0,12\n"
+            "0,4.0,101,0,16\n"
+        )
+        workload = import_csv(path)
+        assert workload.num_cores == 2
+        assert list(workload.cores[0].addresses) == [100, 101]
+        assert list(workload.cores[1].addresses) == [200, 201]
+        assert list(workload.cores[1].gaps) == [1.0, 3.0]
+
+    def test_instructions_per_core_defaulting(self, tmp_path):
+        path = tmp_path / "instr.csv"
+        path.write_text(
+            "core,gap,address,write,pc\n"
+            + "".join(f"0,1.0,{i},0,4\n" for i in range(7))
+        )
+        assert import_csv(path).cores[0].instructions == 7 * 50
+        assert (
+            import_csv(path, instructions_per_core=123).cores[0].instructions
+            == 123
+        )
+
+    @pytest.mark.parametrize(
+        "row,match",
+        [
+            ("0,abc,100,0,4", r"line 2: gap='abc' is not a number"),
+            ("0,-1.0,100,0,4", r"line 2: gap='-1.0' must be >= 0"),
+            ("0,nan,100,0,4", r"line 2: gap='nan' must be >= 0"),
+            ("0,1.0,-5,0,4", r"line 2: address=-5 must be >= 0"),
+            ("0,1.0,1.5,0,4", r"line 2: address='1.5' is not an integer"),
+            ("0,1.0,100,yes,4", r"line 2: write='yes' is not an integer"),
+            ("0,1.0,100,0,0x4", r"line 2: pc='0x4' is not an integer"),
+            ("x,1.0,100,0,4", r"line 2: core='x' is not an integer"),
+            ("0,1.0,100,0", r"line 2: missing 'pc' value"),
+        ],
+    )
+    def test_malformed_rows_rejected_with_line_number(self, tmp_path, row, match):
+        path = tmp_path / "bad.csv"
+        path.write_text("core,gap,address,write,pc\n" + row + "\n")
+        with pytest.raises(ValueError, match=match):
+            import_csv(path)
+
+    def test_error_names_later_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "core,gap,address,write,pc\n"
+            "0,1.0,100,0,4\n"
+            "0,1.0,100,0,4\n"
+            "0,bogus,100,0,4\n"
+        )
+        with pytest.raises(ValueError, match="line 4"):
+            import_csv(path)
+
     def test_missing_columns_rejected(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("core,address\n0,1\n")
