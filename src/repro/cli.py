@@ -7,6 +7,11 @@ Usage::
     repro table1 fig10 --quick   # quick mode (short traces)
     repro all --quick            # everything
     repro sweep --designs alloy,no-cache --benchmarks mcf,gcc -j 4
+    repro sweep --job nightly -j 8   # journaled: resumable after a kill
+    repro sweep --resume nightly     # finish whatever the journal misses
+    repro explore --strategy halving # Pareto search of the config space
+    repro jobs list                  # job admin (also: show / rm)
+    repro cache stats                # store admin (also: prune / clear)
 
 The ``sweep`` verb runs an ad-hoc (design x benchmark) grid through the
 parallel executor in :mod:`repro.sim.parallel`, printing per-cell telemetry
@@ -15,7 +20,9 @@ the trace-build vs simulation amortization summary, and speedups over
 the ``no-cache`` baseline. Completed cells persist under ``.repro_cache/``
 (override with ``REPRO_CACHE_DIR``/``--cache-dir``; disable with
 ``--no-cache``), so repeating a sweep — or resuming after a crash —
-simulates only the missing cells.
+simulates only the missing cells. ``--job NAME`` additionally journals
+every completion under ``.repro_cache/jobs/`` (see :mod:`repro.jobs`), so
+a killed run picks up exactly where it stopped via ``--resume NAME``.
 """
 
 from __future__ import annotations
@@ -141,6 +148,220 @@ def build_sweep_parser() -> argparse.ArgumentParser:
             "exit nonzero unless exactly N cells were served from the "
             "persistent result cache (CI smoke assertion)"
         ),
+    )
+    parser.add_argument(
+        "--job",
+        metavar="NAME",
+        help=(
+            "run the sweep as a named, journaled job: every completed "
+            "cell is checkpointed under <cache-dir>/jobs/, so a killed "
+            "run resumes with 'repro sweep --resume NAME'"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="REF",
+        help=(
+            "resume a journaled job by name or id, replaying completed "
+            "cells from its journal and simulating only the missing ones "
+            "(the grid flags are ignored; the job manifest defines it)"
+        ),
+    )
+    return parser
+
+
+def build_jobs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro jobs",
+        description=(
+            "Inspect and manage journaled jobs under <cache-dir>/jobs/"
+        ),
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    sub.add_parser("list", help="list every job with completion counts")
+    show = sub.add_parser("show", help="show one job's manifest and journal")
+    show.add_argument("ref", help="job name or id")
+    rm = sub.add_parser("rm", help="delete a job directory (and journal)")
+    rm.add_argument("ref", help="job name or id")
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache directory (default .repro_cache or REPRO_CACHE_DIR)",
+    )
+    return parser
+
+
+def build_cache_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description=(
+            "Administer the persistent store: cached cell results, "
+            "shared trace arenas, and job journals"
+        ),
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    sub.add_parser("stats", help="size and entry counts per store kind")
+    prune = sub.add_parser(
+        "prune", help="evict oldest entries until the store fits a budget"
+    )
+    prune.add_argument(
+        "--max-bytes",
+        required=True,
+        metavar="SIZE",
+        help="size budget, e.g. 200M, 1G, 500000 (bytes)",
+    )
+    clear = sub.add_parser("clear", help="delete store contents")
+    clear.add_argument(
+        "--results", action="store_true", help="clear only cached results"
+    )
+    clear.add_argument(
+        "--traces", action="store_true", help="clear only trace arenas"
+    )
+    clear.add_argument(
+        "--jobs", action="store_true", help="clear only job directories"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="cache directory (default .repro_cache or REPRO_CACHE_DIR)",
+    )
+    return parser
+
+
+def build_explore_parser() -> argparse.ArgumentParser:
+    from repro.explore import (
+        DEFAULT_BENCHMARKS,
+        DEFAULT_DESIGNS,
+        STACKED_TIMING_PRESETS,
+        STRATEGIES,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro explore",
+        description=(
+            "Design-space exploration over the DRAM-cache config space "
+            "(design x page policy x burst x capacity x timing), with a "
+            "Pareto-frontier report over latency / hit rate / stacked-bus "
+            "pressure / energy-delay^2. Every round is a journaled job, "
+            "so a killed exploration resumes when rerun with identical "
+            "arguments."
+        ),
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="halving",
+        help=(
+            "search strategy: full grid, seeded random sample, or "
+            "successive halving (short traces -> kill dominated configs "
+            "-> longer traces; default)"
+        ),
+    )
+    parser.add_argument(
+        "--name",
+        default="explore",
+        help="job-name prefix for the checkpointed rounds (default explore)",
+    )
+    parser.add_argument(
+        "--designs",
+        default=",".join(DEFAULT_DESIGNS),
+        help="comma-separated design families to search over",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=",".join(DEFAULT_BENCHMARKS),
+        help="comma-separated benchmarks each config is scored on",
+    )
+    parser.add_argument(
+        "--page-policies",
+        default="open,closed",
+        help="stacked-DRAM page policies axis (default open,closed)",
+    )
+    parser.add_argument(
+        "--line-bursts",
+        default="4,8",
+        help="stacked-bus cycles per 64B line axis (default 4,8)",
+    )
+    parser.add_argument(
+        "--cache-mbs",
+        default="128,256",
+        help="DRAM-cache capacities in MB (default 128,256)",
+    )
+    parser.add_argument(
+        "--timings",
+        default="paper,fast,slow",
+        help=(
+            "stacked timing presets "
+            f"(known: {','.join(sorted(STACKED_TIMING_PRESETS))})"
+        ),
+    )
+    parser.add_argument(
+        "--capacity-scales",
+        default="256",
+        help="workload capacity-scale factors (default 256)",
+    )
+    parser.add_argument(
+        "--reads",
+        type=int,
+        default=3000,
+        metavar="N",
+        help="first-round trace reads per core (default 3000)",
+    )
+    parser.add_argument(
+        "--eta",
+        type=int,
+        default=3,
+        metavar="K",
+        help="halving: survivor divisor and fidelity multiplier (default 3)",
+    )
+    parser.add_argument(
+        "--keep",
+        type=int,
+        default=8,
+        metavar="N",
+        help="halving: stop once this many configs remain (default 8)",
+    )
+    parser.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="halving: hard cap on rounds (default: run until --keep)",
+    )
+    parser.add_argument(
+        "--samples",
+        type=int,
+        default=32,
+        metavar="N",
+        help="random: number of sampled configs (default 32)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1, help="workload/sampling seed"
+    )
+    parser.add_argument(
+        "--warmup",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help="functional-warmup fraction of each trace (default 0.25)",
+    )
+    parser.add_argument(
+        "-j",
+        "--max-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulate up to N cells in parallel worker processes",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the persistent result cache",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="also write the full report (rounds, frontier) as JSON",
     )
     return parser
 
@@ -347,7 +568,11 @@ def _bench_main(argv: List[str]) -> int:
     gate = args.check or args.min_speedup is not None
     baseline_path = Path(args.baseline) if args.baseline else None
     if baseline_path is None and gate:
-        baseline_path = perf_bench.latest_bench_file(Path("."))
+        try:
+            baseline_path = perf_bench.latest_bench_file(Path("."))
+        except ValueError as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
         if baseline_path is None:
             print(
                 "bench: no BENCH_*.json baseline found in the cwd",
@@ -652,6 +877,7 @@ def _sweep_main(argv: List[str]) -> int:
     from pathlib import Path
 
     from repro.dramcache.factory import DESIGN_NAMES
+    from repro.jobs import create_job, open_job, submit_job
     from repro.sim.parallel import ResultCache, make_cells, run_sweep
     from repro.sim.runner import geometric_mean
     from repro.workloads.spec import get_benchmark
@@ -663,48 +889,93 @@ def _sweep_main(argv: List[str]) -> int:
             file=sys.stderr,
         )
         return 2
-
-    designs = [
-        _DESIGN_ALIASES.get(name.strip().lower(), name.strip().lower())
-        for name in args.designs.split(",")
-        if name.strip()
-    ]
-    unknown = [d for d in designs if d not in DESIGN_NAMES]
-    if unknown:
-        print(f"unknown designs: {', '.join(unknown)}", file=sys.stderr)
-        print(f"known: {', '.join(DESIGN_NAMES)}", file=sys.stderr)
-        return 2
-    try:
-        benchmarks = [
-            get_benchmark(name.strip()).name
-            for name in args.benchmarks.split(",")
-            if name.strip()
-        ]
-    except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
+    if args.job and args.resume:
+        print("--job and --resume are mutually exclusive", file=sys.stderr)
         return 2
 
-    baseline = _DESIGN_ALIASES.get(args.baseline, args.baseline)
-    grid = designs if baseline in designs else [baseline, *designs]
-    cells = make_cells(
-        grid,
-        benchmarks,
-        reads_per_core=args.reads,
-        warmup_fraction=args.warmup,
-        seed=args.seed,
-    )
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
     cache = ResultCache(
-        Path(args.cache_dir) if args.cache_dir else None,
+        cache_dir,
         persist=False if args.no_cache else None,
     )
-    report = run_sweep(
-        cells,
-        max_workers=args.max_workers,
-        cache=cache,
-        use_cache=not args.no_cache,
-    )
+    baseline = _DESIGN_ALIASES.get(args.baseline, args.baseline)
+
+    if args.resume:
+        try:
+            job = open_job(args.resume, cache_dir=cache_dir)
+        except KeyError as exc:
+            print(f"sweep: {exc.args[0]}", file=sys.stderr)
+            return 2
+        # The manifest defines the grid; rebuild the display axes from it.
+        designs = list(dict.fromkeys(c.design for c in job.cells))
+        benchmarks = list(dict.fromkeys(c.benchmark for c in job.cells))
+        print(
+            f"resuming job {job.job_id} ({job.completed_cells()}"
+            f"/{len(job.cells)} cells journaled)"
+        )
+        report = submit_job(
+            job,
+            max_workers=args.max_workers,
+            cache=cache,
+            use_cache=not args.no_cache,
+        )
+    else:
+        designs = [
+            _DESIGN_ALIASES.get(name.strip().lower(), name.strip().lower())
+            for name in args.designs.split(",")
+            if name.strip()
+        ]
+        unknown = [d for d in designs if d not in DESIGN_NAMES]
+        if unknown:
+            print(f"unknown designs: {', '.join(unknown)}", file=sys.stderr)
+            print(f"known: {', '.join(DESIGN_NAMES)}", file=sys.stderr)
+            return 2
+        try:
+            benchmarks = [
+                get_benchmark(name.strip()).name
+                for name in args.benchmarks.split(",")
+                if name.strip()
+            ]
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+
+        grid = designs if baseline in designs else [baseline, *designs]
+        cells = make_cells(
+            grid,
+            benchmarks,
+            reads_per_core=args.reads,
+            warmup_fraction=args.warmup,
+            seed=args.seed,
+        )
+        if args.job:
+            job = create_job(args.job, cells, cache_dir=cache_dir)
+            print(
+                f"job {job.job_id} ({job.completed_cells()}"
+                f"/{len(job.cells)} cells journaled)"
+            )
+            report = submit_job(
+                job,
+                max_workers=args.max_workers,
+                cache=cache,
+                use_cache=not args.no_cache,
+            )
+        else:
+            report = run_sweep(
+                cells,
+                max_workers=args.max_workers,
+                cache=cache,
+                use_cache=not args.no_cache,
+            )
 
     print(report.render())
+    grid_designs = {c.cell.design for c in report.cells}
+    if baseline not in grid_designs:
+        # A resumed job need not contain the baseline design; the raw
+        # telemetry table above is the whole report then.
+        return 0
+    if args.resume:
+        designs = [d for d in designs if d != baseline] or [baseline]
     print()
     speedups = report.speedups(baseline)
     print(f"speedup vs {baseline}:")
@@ -737,6 +1008,163 @@ def _sweep_main(argv: List[str]) -> int:
     return 0
 
 
+def _jobs_main(argv: List[str]) -> int:
+    from pathlib import Path
+
+    from repro.jobs import format_size, list_jobs, open_job, remove_job
+
+    args = build_jobs_parser().parse_args(argv)
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+
+    if args.action == "list":
+        infos = list_jobs(cache_dir)
+        if not infos:
+            print("no jobs")
+            return 0
+        print(
+            f"{'job id':<50} {'done':>9} {'size':>10} "
+            f"{'created':<20} name"
+        )
+        for info in infos:
+            print(
+                f"{info.job_id:<50} "
+                f"{info.completed_cells:>4}/{info.total_cells:<4} "
+                f"{format_size(info.bytes):>10} "
+                f"{info.created:<20} {info.name}"
+            )
+        return 0
+
+    try:
+        if args.action == "rm":
+            removed = remove_job(args.ref, cache_dir=cache_dir)
+            print(f"removed {removed}")
+            return 0
+        job = open_job(args.ref, cache_dir=cache_dir)
+    except KeyError as exc:
+        print(f"jobs: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    journal = job.journal()
+    done = journal.load() if journal is not None else {}
+    print(f"job {job.job_id}")
+    print(f"  name:      {job.name}")
+    print(f"  created:   {job.created}")
+    print(f"  directory: {job.directory}")
+    print(f"  cells:     {len(job.cells)} ({len(done)} journaled)")
+    if journal is not None and journal.dropped:
+        print(f"  journal:   {journal.dropped} corrupt line(s) dropped")
+    for cell in job.cells:
+        state = "done" if cell.key() in done else "pending"
+        print(
+            f"    {cell.design:<16} {cell.benchmark:<12} "
+            f"reads={cell.reads_per_core:<7} seed={cell.seed:<3} {state}"
+        )
+    return 0
+
+
+def _cache_main(argv: List[str]) -> int:
+    from pathlib import Path
+
+    from repro.jobs import cache_stats, clear_cache, parse_size, prune_cache
+
+    args = build_cache_parser().parse_args(argv)
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+
+    if args.action == "stats":
+        print(cache_stats(cache_dir).render())
+        return 0
+    if args.action == "prune":
+        try:
+            budget = parse_size(args.max_bytes)
+        except ValueError as exc:
+            print(f"cache: {exc}", file=sys.stderr)
+            return 2
+        print(prune_cache(budget, cache_dir).render())
+        return 0
+    # clear: with no kind flags, clear everything.
+    any_flag = args.results or args.traces or args.jobs
+    removed = clear_cache(
+        cache_dir,
+        results=args.results or not any_flag,
+        traces=args.traces or not any_flag,
+        jobs=args.jobs or not any_flag,
+    )
+    print(f"cleared {removed.render()}")
+    return 0
+
+
+def _explore_main(argv: List[str]) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.dramcache.factory import DESIGN_NAMES
+    from repro.explore import ExploreSpace, explore
+    from repro.workloads.spec import get_benchmark
+
+    args = build_explore_parser().parse_args(argv)
+    if args.max_workers < 1:
+        print(
+            f"--max-workers must be >= 1, got {args.max_workers}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def split(text: str) -> List[str]:
+        return [part.strip() for part in text.split(",") if part.strip()]
+
+    designs = [
+        _DESIGN_ALIASES.get(name.lower(), name.lower())
+        for name in split(args.designs)
+    ]
+    unknown = [d for d in designs if d not in DESIGN_NAMES]
+    if unknown:
+        print(f"unknown designs: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(DESIGN_NAMES)}", file=sys.stderr)
+        return 2
+    try:
+        benchmarks = [
+            get_benchmark(name).name for name in split(args.benchmarks)
+        ]
+        space = ExploreSpace(
+            designs=tuple(designs),
+            benchmarks=tuple(benchmarks),
+            page_policies=tuple(split(args.page_policies)),
+            line_bursts=tuple(int(b) for b in split(args.line_bursts)),
+            cache_mbs=tuple(int(mb) for mb in split(args.cache_mbs)),
+            timings=tuple(split(args.timings)),
+            capacity_scales=tuple(
+                int(s) for s in split(args.capacity_scales)
+            ),
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"explore: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    report = explore(
+        space,
+        args.strategy,
+        name=args.name,
+        reads_per_core=args.reads,
+        eta=args.eta,
+        keep=args.keep,
+        max_rounds=args.max_rounds,
+        samples=args.samples,
+        seed=args.seed,
+        warmup_fraction=args.warmup,
+        max_workers=args.max_workers,
+        use_cache=not args.no_cache,
+        log=print,
+    )
+    print()
+    print(report.render())
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_payload(), indent=2) + "\n")
+        print(f"wrote {out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "sweep":
@@ -749,6 +1177,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _golden_main(argv[1:])
     if argv and argv[0] == "check":
         return _check_main(argv[1:])
+    if argv and argv[0] == "jobs":
+        return _jobs_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
+    if argv and argv[0] == "explore":
+        return _explore_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
@@ -758,6 +1192,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             "\nother verbs:\n"
             "  sweep (see 'repro sweep --help')\n"
+            "  explore (see 'repro explore --help')\n"
+            "  jobs (see 'repro jobs --help')\n"
+            "  cache (see 'repro cache --help')\n"
             "  breakdown (see 'repro breakdown --help')\n"
             "  bench (see 'repro bench --help')\n"
             "  golden (see 'repro golden --help')\n"

@@ -9,11 +9,19 @@ sweep executor in :mod:`repro.sim.parallel`: set ``REPRO_JOBS=N`` (or pass
 ``max_workers``) to fan cells out over N worker processes, and completed
 cells persist in the on-disk result cache so re-running a figure resumes
 instead of resimulating.
+
+When the registry runs an experiment it wraps the call in
+:func:`experiment_job`, so every grid lands as a *named, journaled job*
+(``fig4``, ``table1-quick``, …) under ``.repro_cache/jobs/`` — a killed
+figure run resumes from its journal, and ``repro jobs list`` shows which
+paper artifacts have complete result sets.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import contextvars
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.sim.config import SystemConfig
 from repro.sim.parallel import default_workers, make_cells, run_sweep
@@ -28,6 +36,30 @@ QUICK_READS = 1500
 
 def reads_for(quick: bool) -> int:
     return QUICK_READS if quick else FULL_READS
+
+
+#: The job name experiment sweeps run under (None = plain ephemeral sweep).
+_EXPERIMENT_JOB: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_experiment_job", default=None
+)
+
+
+@contextmanager
+def experiment_job(name: str) -> Iterator[None]:
+    """Route every :func:`sweep` inside the block through a named job.
+
+    Job ids are content-keyed, so one experiment issuing several distinct
+    grids under the same name yields several distinct (resumable) jobs.
+    """
+    token = _EXPERIMENT_JOB.set(name)
+    try:
+        yield
+    finally:
+        _EXPERIMENT_JOB.reset(token)
+
+
+def current_experiment_job() -> Optional[str]:
+    return _EXPERIMENT_JOB.get()
 
 
 def primary_names() -> List[str]:
@@ -58,16 +90,21 @@ def sweep(
     designs = list(designs)
     benchmarks = list(benchmarks)
     grid = designs if "no-cache" in designs else ["no-cache", *designs]
-    report = run_sweep(
-        make_cells(
-            grid,
-            benchmarks,
-            config=config,
-            reads_per_core=reads,
-            warmup_fraction=warmup_fraction,
-        ),
-        max_workers=max_workers or default_workers(),
+    cells = make_cells(
+        grid,
+        benchmarks,
+        config=config,
+        reads_per_core=reads,
+        warmup_fraction=warmup_fraction,
     )
+    workers = max_workers or default_workers()
+    job_name = _EXPERIMENT_JOB.get()
+    if job_name:
+        from repro.jobs import create_job, submit_job
+
+        report = submit_job(create_job(job_name, cells), max_workers=workers)
+    else:
+        report = run_sweep(cells, max_workers=workers)
     out: Dict[Tuple[str, str], Tuple[float, SimResult]] = {}
     for benchmark in benchmarks:
         base = report.result("no-cache", benchmark)

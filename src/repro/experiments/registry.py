@@ -73,8 +73,17 @@ def get_experiment(experiment_id: str) -> Runner:
 
 
 def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
-    """Run one experiment by paper artifact id."""
-    return get_experiment(experiment_id)(quick)
+    """Run one experiment by paper artifact id.
+
+    The run is wrapped in :func:`repro.experiments.common.experiment_job`,
+    so its sweeps land as named, journaled jobs (``fig4``,
+    ``table1-quick``, …) that a killed run resumes from.
+    """
+    from repro.experiments.common import experiment_job
+
+    name = experiment_id.lower() + ("-quick" if quick else "")
+    with experiment_job(name):
+        return get_experiment(experiment_id)(quick)
 
 
 def _run_one(args: Tuple[str, bool]) -> Tuple[str, ExperimentResult, float]:

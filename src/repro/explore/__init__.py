@@ -1,0 +1,47 @@
+"""Design-space exploration over the DRAM-cache config space.
+
+:mod:`repro.explore.space` defines the axes (design family, page policy,
+burst length, capacity, timing preset, capacity scale) and expands them to
+sweep cells; :mod:`repro.explore.engine` searches the space with ``grid``,
+``random`` or successive-``halving`` strategies — every round a resumable
+:mod:`repro.jobs` job — and reports the Pareto frontier over latency,
+hit rate, stacked-bus pressure and energy·delay².
+"""
+
+from repro.explore.engine import (
+    EXPLORE_SCHEMA,
+    STRATEGIES,
+    ExploreReport,
+    PointMetrics,
+    RoundSummary,
+    dominates,
+    explore,
+    pareto_front,
+    select_survivors,
+)
+from repro.explore.space import (
+    DEFAULT_BENCHMARKS,
+    DEFAULT_DESIGNS,
+    STACKED_TIMING_PRESETS,
+    ConfigPoint,
+    ExploreSpace,
+    cells_for,
+)
+
+__all__ = [
+    "EXPLORE_SCHEMA",
+    "STRATEGIES",
+    "ExploreReport",
+    "PointMetrics",
+    "RoundSummary",
+    "dominates",
+    "explore",
+    "pareto_front",
+    "select_survivors",
+    "DEFAULT_BENCHMARKS",
+    "DEFAULT_DESIGNS",
+    "STACKED_TIMING_PRESETS",
+    "ConfigPoint",
+    "ExploreSpace",
+    "cells_for",
+]

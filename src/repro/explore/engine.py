@@ -1,0 +1,467 @@
+"""Search strategies and Pareto reporting for ``repro explore``.
+
+Three strategies over an :class:`~repro.explore.space.ExploreSpace`:
+
+* ``grid`` — evaluate every config point at full fidelity (one job).
+* ``random`` — evaluate a seeded random sample of points (one job).
+* ``halving`` — successive halving: evaluate *all* points at a short
+  trace length, kill dominated configs, multiply the trace length by
+  ``eta`` and repeat with the survivors. Each round is a **named,
+  journaled job** (``<name>-r<k>``), so a killed exploration resumes:
+  completed rounds replay from their journals in milliseconds and the
+  interrupted round continues from its last checkpointed cell.
+
+Every point is scored on four objectives (benchmark-averaged):
+
+* ``latency`` — mean demand-read latency in cycles (minimize);
+* ``hit_rate`` — demand-read DRAM-cache hit rate (maximize);
+* ``bandwidth`` — stacked-bus utilization, the LH-Cache failure mode the
+  paper centers on, treated as pressure/cost (minimize);
+* ``ed2`` — energy·delay²: total DRAM access energy (Section 5.6 model)
+  times per-core cycles squared, the standard low-power figure of merit
+  weighted toward performance (minimize).
+
+The report carries every evaluated point (with the fidelity it was last
+evaluated at) plus the Pareto frontier — the set of configs no other
+config beats on *all* objectives at once.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.explore.space import ConfigPoint, ExploreSpace, cells_for
+from repro.jobs import create_job, submit_job
+from repro.sim.config import SystemConfig
+from repro.sim.parallel import ResultCache, SweepReport
+
+STRATEGIES = ("grid", "random", "halving")
+
+#: Bump when the explore report payload layout changes.
+EXPLORE_SCHEMA = 1
+
+
+@dataclass
+class PointMetrics:
+    """One config point's benchmark-averaged objectives."""
+
+    point: ConfigPoint
+    reads_per_core: int
+    round_index: int
+    latency: float
+    hit_rate: float
+    bandwidth: float
+    ed2: float
+    cycles: float
+
+    def objectives(self) -> Tuple[float, float, float, float]:
+        """All-minimized objective vector (hit rate negated)."""
+        return (self.latency, -self.hit_rate, self.bandwidth, self.ed2)
+
+    def to_dict(self) -> Dict:
+        return {
+            "point": self.point.label,
+            "design": self.point.design,
+            "page_policy": self.point.page_policy,
+            "line_burst": self.point.line_burst,
+            "cache_mb": self.point.cache_mb,
+            "timing": self.point.timing,
+            "capacity_scale": self.point.capacity_scale,
+            "reads_per_core": self.reads_per_core,
+            "round": self.round_index,
+            "latency": self.latency,
+            "hit_rate": self.hit_rate,
+            "bandwidth": self.bandwidth,
+            "ed2": self.ed2,
+            "cycles": self.cycles,
+        }
+
+
+def dominates(a: PointMetrics, b: PointMetrics) -> bool:
+    """True when ``a`` is at least as good everywhere and better somewhere."""
+    ao, bo = a.objectives(), b.objectives()
+    return all(x <= y for x, y in zip(ao, bo)) and any(
+        x < y for x, y in zip(ao, bo)
+    )
+
+
+def pareto_front(metrics: Sequence[PointMetrics]) -> List[PointMetrics]:
+    """The non-dominated subset, in input order."""
+    return [
+        m
+        for m in metrics
+        if not any(dominates(other, m) for other in metrics if other is not m)
+    ]
+
+
+def _domination_counts(metrics: Sequence[PointMetrics]) -> Dict[str, int]:
+    """point label -> number of points that dominate it (0 = frontier)."""
+    return {
+        m.point.label: sum(
+            1 for other in metrics if other is not m and dominates(other, m)
+        )
+        for m in metrics
+    }
+
+
+def select_survivors(
+    metrics: Sequence[PointMetrics], keep: int
+) -> List[PointMetrics]:
+    """The ``keep`` least-dominated points (early-kill of dominated configs).
+
+    Primary key: domination count (frontier members first). Tie-break: the
+    sum of per-objective ranks, then the point label — fully deterministic,
+    so a resumed exploration reselects identical survivors and lands in
+    identical (content-keyed) round jobs.
+    """
+    counts = _domination_counts(metrics)
+    rank_sum: Dict[str, int] = {m.point.label: 0 for m in metrics}
+    for axis in range(4):
+        ordered = sorted(
+            metrics, key=lambda m: (m.objectives()[axis], m.point.label)
+        )
+        for rank, m in enumerate(ordered):
+            rank_sum[m.point.label] += rank
+    ordered = sorted(
+        metrics,
+        key=lambda m: (
+            counts[m.point.label],
+            rank_sum[m.point.label],
+            m.point.label,
+        ),
+    )
+    return ordered[: max(1, keep)]
+
+
+@dataclass
+class RoundSummary:
+    index: int
+    reads_per_core: int
+    points: int
+    cells: int
+    frontier: int
+    cache_hits: int
+    elapsed_seconds: float
+
+    def to_dict(self) -> Dict:
+        return {
+            "round": self.index,
+            "reads_per_core": self.reads_per_core,
+            "points": self.points,
+            "cells": self.cells,
+            "frontier": self.frontier,
+            "cache_hits": self.cache_hits,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class ExploreReport:
+    """Everything one exploration learned."""
+
+    name: str
+    strategy: str
+    space_points: int
+    space_cells: int
+    benchmarks: Tuple[str, ...]
+    rounds: List[RoundSummary]
+    #: Final-fidelity metrics for the points still alive at the end.
+    evaluated: List[PointMetrics]
+    #: Non-dominated subset of ``evaluated``.
+    frontier: List[PointMetrics]
+    #: Last metrics of every point killed along the way (halving only).
+    killed: List[PointMetrics] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def to_payload(self) -> Dict:
+        return {
+            "schema": EXPLORE_SCHEMA,
+            "kind": "repro-explore",
+            "name": self.name,
+            "strategy": self.strategy,
+            "space_points": self.space_points,
+            "space_cells": self.space_cells,
+            "benchmarks": list(self.benchmarks),
+            "rounds": [r.to_dict() for r in self.rounds],
+            "evaluated": [m.to_dict() for m in self.evaluated],
+            "frontier": [m.to_dict() for m in self.frontier],
+            "killed": [m.to_dict() for m in self.killed],
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"explore '{self.name}': strategy={self.strategy}, space "
+            f"{self.space_points} configs x {len(self.benchmarks)} "
+            f"benchmarks = {self.space_cells} cells"
+        ]
+        for r in self.rounds:
+            lines.append(
+                f"  round {r.index}: {r.points} configs @ "
+                f"{r.reads_per_core} reads/core ({r.cells} cells, "
+                f"{r.cache_hits} cached) -> frontier {r.frontier} "
+                f"[{r.elapsed_seconds:.1f}s]"
+            )
+        best_ed2 = min((m.ed2 for m in self.evaluated if m.ed2 > 0), default=1.0)
+        lines.append(
+            f"Pareto frontier ({len(self.frontier)} of "
+            f"{len(self.evaluated)} surviving configs; objectives: "
+            "latency min / hit_rate max / bus-util min / ED2 min):"
+        )
+        lines.append(
+            f"  {'config':<44} {'lat_cyc':>8} {'hit':>6} "
+            f"{'bus':>6} {'ED2(rel)':>9}"
+        )
+        for m in sorted(self.frontier, key=lambda m: m.latency):
+            lines.append(
+                f"  {m.point.label:<44} {m.latency:>8.1f} "
+                f"{m.hit_rate:>6.3f} {m.bandwidth:>6.3f} "
+                f"{m.ed2 / best_ed2 if best_ed2 else 0.0:>9.3f}"
+            )
+        lines.append(f"-- {self.elapsed_seconds:.1f}s elapsed")
+        return "\n".join(lines)
+
+
+def _metrics_from_report(
+    points: Sequence[ConfigPoint],
+    benchmarks: Sequence[str],
+    report: SweepReport,
+    reads_per_core: int,
+    round_index: int,
+) -> List[PointMetrics]:
+    # One design appears under many configs in a round's grid, so
+    # ``report.result(design, benchmark)`` is ambiguous here; rely on the
+    # executor preserving input cell order (slots are index-addressed) and
+    # read cells back positionally, cross-checking identity.
+    n = len(benchmarks)
+    if len(report.cells) != len(points) * n:
+        raise ValueError(
+            f"report has {len(report.cells)} cells, expected "
+            f"{len(points)} points x {n} benchmarks"
+        )
+    out = []
+    for i, point in enumerate(points):
+        latency = hit = bus = ed2 = cycles = 0.0
+        for j, benchmark in enumerate(benchmarks):
+            cell_result = report.cells[i * n + j]
+            if (
+                cell_result.cell.design != point.design
+                or cell_result.cell.benchmark != benchmark
+            ):
+                raise ValueError(
+                    f"cell order mismatch at {i * n + j}: expected "
+                    f"{point.design}/{benchmark}, got "
+                    f"{cell_result.cell.design}/{cell_result.cell.benchmark}"
+                )
+            result = cell_result.result
+            latency += result.avg_read_latency
+            hit += result.read_hit_rate
+            bus += result.stacked_bus_utilization
+            ed2 += result.total_dram_energy_nj * result.cycles**2
+            cycles += result.cycles
+        out.append(
+            PointMetrics(
+                point=point,
+                reads_per_core=reads_per_core,
+                round_index=round_index,
+                latency=latency / n,
+                hit_rate=hit / n,
+                bandwidth=bus / n,
+                ed2=ed2 / n,
+                cycles=cycles / n,
+            )
+        )
+    return out
+
+
+def _evaluate(
+    points: Sequence[ConfigPoint],
+    benchmarks: Sequence[str],
+    reads_per_core: int,
+    round_index: int,
+    job_name: str,
+    *,
+    base: Optional[SystemConfig],
+    warmup_fraction: float,
+    seed: int,
+    max_workers: int,
+    cache: Optional[ResultCache],
+    use_cache: bool,
+) -> Tuple[List[PointMetrics], SweepReport]:
+    """Run one round as a named, journaled job and score its points."""
+    cells = cells_for(
+        points,
+        benchmarks,
+        reads_per_core,
+        base=base,
+        warmup_fraction=warmup_fraction,
+        seed=seed,
+    )
+    job = create_job(job_name, cells)
+    report = submit_job(
+        job, max_workers=max_workers, cache=cache, use_cache=use_cache
+    )
+    metrics = _metrics_from_report(
+        points, benchmarks, report, reads_per_core, round_index
+    )
+    return metrics, report
+
+
+def _round_summary(
+    index: int,
+    reads_per_core: int,
+    points: Sequence[ConfigPoint],
+    report: SweepReport,
+    metrics: Sequence[PointMetrics],
+    elapsed: float,
+) -> RoundSummary:
+    return RoundSummary(
+        index=index,
+        reads_per_core=reads_per_core,
+        points=len(points),
+        cells=len(report.cells),
+        frontier=len(pareto_front(metrics)),
+        cache_hits=sum(1 for c in report.cells if c.from_cache),
+        elapsed_seconds=elapsed,
+    )
+
+
+def explore(
+    space: ExploreSpace,
+    strategy: str = "halving",
+    *,
+    name: str = "explore",
+    reads_per_core: int = 3000,
+    eta: int = 3,
+    keep: int = 8,
+    max_rounds: Optional[int] = None,
+    samples: int = 32,
+    seed: int = 1,
+    base: Optional[SystemConfig] = None,
+    warmup_fraction: float = 0.25,
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> ExploreReport:
+    """Search ``space`` with one of :data:`STRATEGIES`.
+
+    ``reads_per_core`` is the fidelity of the *first* round; ``halving``
+    multiplies it by ``eta`` per round while cutting the population to
+    ``max(keep, ceil(n / eta))``, stopping once ``keep`` (or fewer)
+    configs remain or ``max_rounds`` rounds have run. ``grid`` and
+    ``random`` are single-round strategies (``random`` evaluates a seeded
+    sample of ``samples`` points). Every round is a named job, so an
+    interrupted exploration rerun with identical arguments resumes from
+    its journals.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+        )
+    started = time.perf_counter()
+    say = log or (lambda _msg: None)
+    points = space.points()
+    if strategy == "random":
+        rng = random.Random(seed)
+        points = sorted(
+            rng.sample(points, min(samples, len(points))),
+            key=lambda p: p.label,
+        )
+
+    common = dict(
+        base=base,
+        warmup_fraction=warmup_fraction,
+        seed=seed,
+        max_workers=max_workers,
+        cache=cache,
+        use_cache=use_cache,
+    )
+    rounds: List[RoundSummary] = []
+    killed: List[PointMetrics] = []
+
+    if strategy in ("grid", "random"):
+        say(
+            f"{strategy}: {len(points)} configs x {len(space.benchmarks)} "
+            f"benchmarks @ {reads_per_core} reads/core"
+        )
+        t0 = time.perf_counter()
+        metrics, report = _evaluate(
+            points,
+            space.benchmarks,
+            reads_per_core,
+            0,
+            f"{name}-r0",
+            **common,
+        )
+        rounds.append(
+            _round_summary(
+                0,
+                reads_per_core,
+                points,
+                report,
+                metrics,
+                time.perf_counter() - t0,
+            )
+        )
+        evaluated = metrics
+    else:
+        evaluated = []
+        reads = reads_per_core
+        round_index = 0
+        while True:
+            say(
+                f"halving round {round_index}: {len(points)} configs @ "
+                f"{reads} reads/core"
+            )
+            t0 = time.perf_counter()
+            metrics, report = _evaluate(
+                points,
+                space.benchmarks,
+                reads,
+                round_index,
+                f"{name}-r{round_index}",
+                **common,
+            )
+            rounds.append(
+                _round_summary(
+                    round_index,
+                    reads,
+                    points,
+                    report,
+                    metrics,
+                    time.perf_counter() - t0,
+                )
+            )
+            done = len(points) <= keep or (
+                max_rounds is not None and round_index + 1 >= max_rounds
+            )
+            if done:
+                evaluated = metrics
+                break
+            survivors = select_survivors(
+                metrics, max(keep, math.ceil(len(points) / eta))
+            )
+            alive = {m.point.label for m in survivors}
+            killed.extend(m for m in metrics if m.point.label not in alive)
+            points = [m.point for m in survivors]
+            reads *= eta
+            round_index += 1
+
+    frontier = pareto_front(evaluated)
+    return ExploreReport(
+        name=name,
+        strategy=strategy,
+        space_points=space.num_points,
+        space_cells=space.num_cells,
+        benchmarks=tuple(space.benchmarks),
+        rounds=rounds,
+        evaluated=evaluated,
+        frontier=frontier,
+        killed=killed,
+        elapsed_seconds=time.perf_counter() - started,
+    )

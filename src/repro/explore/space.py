@@ -1,0 +1,190 @@
+"""The design space ``repro explore`` searches over.
+
+A :class:`ConfigPoint` is one candidate DRAM-cache organization: a design
+family (which pins associativity and predictor — ``alloy-2way`` is the
+set-assoc TAD variant, ``alloy-sam``/``alloy-map-i``/… pick the predictor),
+plus the config axes the paper's sensitivity studies touch — stacked-DRAM
+page policy, burst length (TAD transfer size on the stacked bus), timing
+preset, nominal capacity and the capacity-scaling factor. Points expand to
+:class:`~repro.sim.parallel.SweepCell`\\ s over the space's benchmarks; the
+content-keyed cache and job journals make re-evaluating a point free.
+
+The default space is deliberately larger than any paper figure grid
+(hundreds of configs) — the point of the job layer is that walking it is
+checkpointed and resumable, in the spirit of Babaie et al.'s DSE study
+(PAPERS.md), which had to hand-prune its gem5 config space because cells
+were expensive and runs were not resumable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dram.timings import STACKED_DRAM, DramTimings
+from repro.sim.config import SystemConfig
+from repro.sim.parallel import SweepCell
+from repro.units import MB
+
+#: Stacked-DRAM timing presets (t_act/t_cas in CPU cycles). ``paper`` is
+#: Table 2; ``fast``/``slow`` bracket it the way emerging-memory DSE
+#: studies sweep array timings.
+STACKED_TIMING_PRESETS: Dict[str, Tuple[int, int]] = {
+    "paper": (18, 18),
+    "fast": (12, 12),
+    "slow": (24, 24),
+}
+
+#: Design families covering the associativity x predictor axes: direct-
+#: mapped Alloy with each predictor family, the 2-way set-assoc TAD
+#: variant, and the tags-in-SRAM / tags-in-DRAM organizations.
+DEFAULT_DESIGNS: Tuple[str, ...] = (
+    "alloy-map-i",
+    "alloy-map-g",
+    "alloy-sam",
+    "alloy-missmap",
+    "alloy-2way",
+    "lh-cache",
+    "sram-tag",
+)
+
+DEFAULT_BENCHMARKS: Tuple[str, ...] = ("mcf_r", "milc_r")
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    """One candidate organization (everything but the benchmark)."""
+
+    design: str
+    page_policy: str = "open"
+    #: Stacked-bus cycles per 64 B line (4 = paper, 8 = narrow/slow bus,
+    #: the Section 6.5 burst-length ablation axis).
+    line_burst: int = 4
+    cache_mb: int = 256
+    timing: str = "paper"
+    capacity_scale: int = 256
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable id used in reports and job names."""
+        return (
+            f"{self.design}/{self.page_policy}/bl{self.line_burst}"
+            f"/{self.cache_mb}MB/{self.timing}/cs{self.capacity_scale}"
+        )
+
+    def stacked_timings(self) -> DramTimings:
+        t_act, t_cas = STACKED_TIMING_PRESETS[self.timing]
+        return STACKED_DRAM.scaled(
+            t_act=t_act, t_cas=t_cas, line_burst=self.line_burst
+        )
+
+    def config(self, base: Optional[SystemConfig] = None) -> SystemConfig:
+        """The full :class:`SystemConfig` this point simulates."""
+        base = base or SystemConfig()
+        return replace(
+            base,
+            stacked=self.stacked_timings(),
+            stacked_page_policy=self.page_policy,
+            cache_size_bytes=self.cache_mb * MB,
+            capacity_scale=self.capacity_scale,
+        )
+
+    def cell(
+        self,
+        benchmark: str,
+        reads_per_core: int,
+        base: Optional[SystemConfig] = None,
+        warmup_fraction: float = 0.25,
+        seed: int = 1,
+    ) -> SweepCell:
+        return SweepCell(
+            design=self.design,
+            benchmark=benchmark,
+            config=self.config(base),
+            reads_per_core=reads_per_core,
+            warmup_fraction=warmup_fraction,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class ExploreSpace:
+    """Cross product of config axes x benchmarks."""
+
+    designs: Tuple[str, ...] = DEFAULT_DESIGNS
+    benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS
+    page_policies: Tuple[str, ...] = ("open", "closed")
+    line_bursts: Tuple[int, ...] = (4, 8)
+    cache_mbs: Tuple[int, ...] = (128, 256)
+    timings: Tuple[str, ...] = ("paper", "fast", "slow")
+    capacity_scales: Tuple[int, ...] = (256,)
+
+    def __post_init__(self) -> None:
+        unknown = [t for t in self.timings if t not in STACKED_TIMING_PRESETS]
+        if unknown:
+            raise ValueError(
+                f"unknown timing presets {unknown}; "
+                f"known: {sorted(STACKED_TIMING_PRESETS)}"
+            )
+
+    def points(self) -> List[ConfigPoint]:
+        """Every config point, in deterministic axis order."""
+        return [
+            ConfigPoint(
+                design=design,
+                page_policy=policy,
+                line_burst=burst,
+                cache_mb=cache_mb,
+                timing=timing,
+                capacity_scale=scale,
+            )
+            for design, policy, burst, cache_mb, timing, scale in (
+                itertools.product(
+                    self.designs,
+                    self.page_policies,
+                    self.line_bursts,
+                    self.cache_mbs,
+                    self.timings,
+                    self.capacity_scales,
+                )
+            )
+        ]
+
+    @property
+    def num_points(self) -> int:
+        return (
+            len(self.designs)
+            * len(self.page_policies)
+            * len(self.line_bursts)
+            * len(self.cache_mbs)
+            * len(self.timings)
+            * len(self.capacity_scales)
+        )
+
+    @property
+    def num_cells(self) -> int:
+        """Size of the full space in sweep cells (points x benchmarks)."""
+        return self.num_points * len(self.benchmarks)
+
+
+def cells_for(
+    points: Sequence[ConfigPoint],
+    benchmarks: Sequence[str],
+    reads_per_core: int,
+    base: Optional[SystemConfig] = None,
+    warmup_fraction: float = 0.25,
+    seed: int = 1,
+) -> List[SweepCell]:
+    """The sweep grid for a set of points at one trace length."""
+    return [
+        point.cell(
+            benchmark,
+            reads_per_core,
+            base=base,
+            warmup_fraction=warmup_fraction,
+            seed=seed,
+        )
+        for point in points
+        for benchmark in benchmarks
+    ]

@@ -1,0 +1,39 @@
+"""Resumable jobs: named, content-keyed sweeps with append-only journals.
+
+Public surface:
+
+* :class:`Job`, :func:`create_job`, :func:`open_job`, :func:`list_jobs`,
+  :func:`remove_job`, :func:`ephemeral_job` — job lifecycle
+  (:mod:`repro.jobs.manager`).
+* :func:`submit_job`, :func:`resume_job` — execution through the single
+  fan-out loop (:mod:`repro.jobs.engine`); ``run_sweep`` is a thin client.
+* :class:`JobJournal` — the JSONL checkpoint (:mod:`repro.jobs.journal`).
+* :func:`cache_stats`, :func:`prune_cache`, :func:`clear_cache` — the
+  ``repro cache`` store admin (:mod:`repro.jobs.storage`).
+"""
+
+from repro.jobs.engine import resume_job, submit_job
+from repro.jobs.journal import JOURNAL_NAME, JobJournal
+from repro.jobs.manager import (
+    JOBS_SUBDIR,
+    Job,
+    JobInfo,
+    cell_from_dict,
+    cell_to_dict,
+    create_job,
+    ephemeral_job,
+    job_id_for,
+    jobs_root,
+    list_jobs,
+    open_job,
+    remove_job,
+)
+from repro.jobs.storage import (
+    CacheStats,
+    PruneReport,
+    cache_stats,
+    clear_cache,
+    format_size,
+    parse_size,
+    prune_cache,
+)

@@ -1,0 +1,149 @@
+"""Append-only JSONL checkpoint journal for resumable jobs.
+
+One journal per job, at ``.repro_cache/jobs/<job_id>/journal.jsonl``. The
+first line is a header record; every subsequent line records one completed
+sweep cell — its content key, a human-readable cell echo, the serialized
+:class:`~repro.sim.results.SimResult` and the telemetry of the run that
+produced it. Records are appended (and flushed + fsynced) the moment a cell
+completes, so a killed or crashed run leaves a journal covering exactly the
+cells that finished.
+
+Crash tolerance is structural, not transactional:
+
+* A **truncated last line** (the process died mid-write) fails to parse as
+  JSON and is silently dropped — the affected cell simply re-runs on
+  resume. The same policy applies to any corrupt interior line.
+* **Stale journals** need no version check of their own: cell content keys
+  (:func:`repro.sim.parallel.cell_key`) already fold in the package version,
+  cache schema and the :class:`SimResult` field signature, so records
+  written by older code never match a current cell's key and the cell
+  re-runs.
+* Appends are ``O_APPEND`` writes of one complete line; duplicate keys are
+  possible after overlapping resumes and are harmless (the last record
+  wins on load).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Dict, Optional, Tuple
+
+from repro.sim.results import SimResult
+
+#: Bump when the journal record layout changes.
+JOURNAL_SCHEMA = 1
+
+#: Journal file name inside a job directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+class JobJournal:
+    """Append-only JSONL record of a job's completed cells."""
+
+    def __init__(self, path: Path, job_id: str = "", name: str = "") -> None:
+        self.path = Path(path)
+        self.job_id = job_id
+        self.name = name
+        #: Records dropped on the last :meth:`load` (corrupt/truncated).
+        self.dropped = 0
+        self._fh: Optional[IO[str]] = None
+
+    # -- read -----------------------------------------------------------
+    def load(self) -> Dict[str, Tuple[SimResult, Dict]]:
+        """Completed cells: content key -> (result, telemetry).
+
+        Unparseable lines — including a truncated final line from a crash
+        mid-append — are dropped (counted in :attr:`dropped`), never fatal.
+        """
+        entries: Dict[str, Tuple[SimResult, Dict]] = {}
+        self.dropped = 0
+        if not self.path.exists():
+            return entries
+        text = self.path.read_bytes().decode("utf-8", errors="replace")
+        for line in text.split("\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                self.dropped += 1
+                continue
+            if not isinstance(record, dict) or record.get("kind") != "cell":
+                continue
+            try:
+                key = record["key"]
+                result = SimResult.from_dict(record["result"])
+            except (KeyError, TypeError, ValueError):
+                self.dropped += 1
+                continue
+            entries[key] = (result, record.get("telemetry", {}))
+        return entries
+
+    def completed_count(self) -> int:
+        """Number of distinct completed cells currently journaled."""
+        return len(self.load())
+
+    # -- write ----------------------------------------------------------
+    def _handle(self) -> IO[str]:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            if not fresh:
+                # Self-heal a crash-truncated tail: if the file does not
+                # end in a newline, the next append would glue onto the
+                # partial record and corrupt *both* lines.
+                with open(self.path, "rb") as fh:
+                    fh.seek(-1, os.SEEK_END)
+                    needs_newline = fh.read(1) != b"\n"
+            self._fh = open(self.path, "a", encoding="utf-8")
+            if not fresh and needs_newline:
+                self._fh.write("\n")
+                self._fh.flush()
+            if fresh:
+                self._append(
+                    {
+                        "kind": "header",
+                        "schema": JOURNAL_SCHEMA,
+                        "job_id": self.job_id,
+                        "name": self.name,
+                    }
+                )
+        return self._fh
+
+    def _append(self, record: Dict) -> None:
+        fh = self._handle()
+        fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def record(
+        self,
+        key: str,
+        result: SimResult,
+        telemetry: Optional[Dict] = None,
+        cell: Optional[Dict] = None,
+    ) -> None:
+        """Checkpoint one completed cell (durable before returning)."""
+        self._append(
+            {
+                "kind": "cell",
+                "key": key,
+                "cell": cell or {},
+                "telemetry": telemetry or {},
+                "result": result.to_dict(),
+            }
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,215 @@
+"""Inspection and bounding of the ``.repro_cache/`` store.
+
+The persistent store grew organically — result JSONs at the root (PR 1),
+``traces/*.npz`` workload arenas (PR 4), and now ``jobs/<job_id>/``
+manifests + journals — with nothing to stop it growing forever. This
+module backs the ``repro cache`` CLI verb:
+
+* :func:`cache_stats` — per-kind file counts and byte totals.
+* :func:`prune_cache` — evict least-recently-modified entries (result
+  files, trace arenas, and whole job directories as atomic units) until
+  the store fits a byte budget. Everything here is a cache of
+  recomputable state, so eviction is always safe — at worst a future run
+  resimulates.
+* :func:`clear_cache` — drop whole kinds outright.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.jobs.manager import JOBS_SUBDIR
+from repro.sim.parallel import default_cache_dir
+from repro.workloads.arena import TRACE_SUBDIR
+
+_SIZE_SUFFIXES = {"": 1, "k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def parse_size(text: str) -> int:
+    """``"500M"``/``"2g"``/``"1048576"`` -> bytes (raises ValueError)."""
+    match = re.fullmatch(r"\s*(\d+)\s*([kKmMgG]?)[bB]?\s*", str(text))
+    if not match:
+        raise ValueError(f"cannot parse size {text!r} (try 500M, 2G, 1024)")
+    return int(match.group(1)) * _SIZE_SUFFIXES[match.group(2).lower()]
+
+
+def format_size(num_bytes: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(num_bytes) < 1024 or unit == "GiB":
+            return (
+                f"{num_bytes:.0f} {unit}"
+                if unit == "B"
+                else f"{num_bytes:.1f} {unit}"
+            )
+        num_bytes /= 1024
+    return f"{num_bytes:.1f} GiB"  # pragma: no cover - unreachable
+
+
+@dataclass
+class KindStats:
+    """One kind of cached state (results / traces / jobs)."""
+
+    kind: str
+    count: int
+    bytes: int
+
+
+@dataclass
+class CacheStats:
+    directory: Path
+    results: KindStats
+    traces: KindStats
+    jobs: KindStats
+
+    @property
+    def total_bytes(self) -> int:
+        return self.results.bytes + self.traces.bytes + self.jobs.bytes
+
+    def render(self) -> str:
+        lines = [f"cache {self.directory}:"]
+        for stats in (self.results, self.traces, self.jobs):
+            noun = "entries" if stats.kind != "jobs" else "jobs"
+            lines.append(
+                f"  {stats.kind:<8} {stats.count:>6} {noun:<7} "
+                f"{format_size(stats.bytes):>10}"
+            )
+        lines.append(f"  {'total':<8} {'':>6} {'':<7} "
+                     f"{format_size(self.total_bytes):>10}")
+        return "\n".join(lines)
+
+
+def _dir_size(path: Path) -> int:
+    return sum(p.stat().st_size for p in path.rglob("*") if p.is_file())
+
+
+def _result_files(directory: Path) -> List[Path]:
+    return sorted(p for p in directory.glob("*.json") if p.is_file())
+
+
+def _trace_files(directory: Path) -> List[Path]:
+    traces = directory / TRACE_SUBDIR
+    if not traces.is_dir():
+        return []
+    return sorted(p for p in traces.glob("*.npz") if p.is_file())
+
+
+def _job_dirs(directory: Path) -> List[Path]:
+    jobs = directory / JOBS_SUBDIR
+    if not jobs.is_dir():
+        return []
+    return sorted(p for p in jobs.iterdir() if p.is_dir())
+
+
+def cache_stats(directory: Optional[Path] = None) -> CacheStats:
+    """Count + size every kind of cached state under ``directory``."""
+    directory = Path(directory) if directory else default_cache_dir()
+    results = _result_files(directory)
+    traces = _trace_files(directory)
+    jobs = _job_dirs(directory)
+    return CacheStats(
+        directory=directory,
+        results=KindStats(
+            "results", len(results), sum(p.stat().st_size for p in results)
+        ),
+        traces=KindStats(
+            "traces", len(traces), sum(p.stat().st_size for p in traces)
+        ),
+        jobs=KindStats("jobs", len(jobs), sum(_dir_size(p) for p in jobs)),
+    )
+
+
+@dataclass
+class PruneReport:
+    directory: Path
+    max_bytes: int
+    removed: List[str]
+    freed_bytes: int
+    remaining_bytes: int
+
+    def render(self) -> str:
+        lines = [
+            f"pruned {len(self.removed)} entries "
+            f"({format_size(self.freed_bytes)}) from {self.directory}; "
+            f"{format_size(self.remaining_bytes)} remain "
+            f"(budget {format_size(self.max_bytes)})"
+        ]
+        lines.extend(f"  removed {name}" for name in self.removed)
+        return "\n".join(lines)
+
+
+def prune_cache(
+    max_bytes: int, directory: Optional[Path] = None
+) -> PruneReport:
+    """Evict oldest entries until the store fits ``max_bytes``.
+
+    Eviction units are individual result files, individual trace arenas,
+    and *whole job directories* (a journal without its manifest is
+    useless), ordered by last-modified time across all three kinds —
+    a plain LRU over recomputable state.
+    """
+    if max_bytes < 0:
+        raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+    directory = Path(directory) if directory else default_cache_dir()
+    units: List[Tuple[float, int, Path, bool]] = []
+    for path in _result_files(directory) + _trace_files(directory):
+        stat = path.stat()
+        units.append((stat.st_mtime, stat.st_size, path, False))
+    for path in _job_dirs(directory):
+        mtime = max(
+            (p.stat().st_mtime for p in path.rglob("*") if p.is_file()),
+            default=path.stat().st_mtime,
+        )
+        units.append((mtime, _dir_size(path), path, True))
+    total = sum(size for _, size, _, _ in units)
+    removed: List[str] = []
+    freed = 0
+    for _, size, path, is_dir in sorted(units, key=lambda u: u[0]):
+        if total - freed <= max_bytes:
+            break
+        if is_dir:
+            shutil.rmtree(path, ignore_errors=True)
+        else:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing cleanup
+                continue
+        freed += size
+        removed.append(str(path.relative_to(directory)))
+    return PruneReport(
+        directory=directory,
+        max_bytes=max_bytes,
+        removed=removed,
+        freed_bytes=freed,
+        remaining_bytes=total - freed,
+    )
+
+
+def clear_cache(
+    directory: Optional[Path] = None,
+    results: bool = True,
+    traces: bool = True,
+    jobs: bool = True,
+) -> CacheStats:
+    """Remove whole kinds of cached state; returns what was removed."""
+    directory = Path(directory) if directory else default_cache_dir()
+    stats = cache_stats(directory)
+    if results:
+        for path in _result_files(directory):
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing cleanup
+                pass
+    if traces:
+        shutil.rmtree(directory / TRACE_SUBDIR, ignore_errors=True)
+    if jobs:
+        shutil.rmtree(directory / JOBS_SUBDIR, ignore_errors=True)
+    return CacheStats(
+        directory=directory,
+        results=stats.results if results else KindStats("results", 0, 0),
+        traces=stats.traces if traces else KindStats("traces", 0, 0),
+        jobs=stats.jobs if jobs else KindStats("jobs", 0, 0),
+    )

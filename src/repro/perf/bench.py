@@ -360,10 +360,49 @@ def load_bench(path: Path) -> Dict:
 
 
 def latest_bench_file(root: Path = Path(".")) -> Optional[Path]:
-    """Newest committed ``BENCH_*.json`` under ``root`` (by name: the date
-    embedded in the file name sorts lexicographically)."""
+    """Newest committed ``BENCH_*.json`` under ``root``, by *parsed* date.
+
+    The date embedded in the file name is parsed as ISO-8601 (date or
+    datetime), not compared lexically — ``BENCH_2026-8-9.json`` no longer
+    outranks ``BENCH_2026-12-01.json``. Returns ``None`` when there are no
+    candidates at all; raises ``ValueError`` (listing every candidate) when
+    any candidate's date fails to parse or two candidates tie for newest,
+    so the caller can ask for an explicit ``--baseline`` instead of gating
+    against an arbitrary file.
+    """
     candidates = sorted(Path(root).glob(f"{BENCH_PREFIX}*.json"))
-    return candidates[-1] if candidates else None
+    if not candidates:
+        return None
+    dated = []
+    unparsed = []
+    for path in candidates:
+        stem = path.name[len(BENCH_PREFIX) : -len(".json")]
+        try:
+            stamp = _dt.datetime.fromisoformat(stem)
+        except ValueError:
+            unparsed.append(path.name)
+            continue
+        if stamp.tzinfo is not None:
+            # Mixed offset-aware and naive stamps would make max() raise;
+            # fold everything to naive UTC.
+            stamp = stamp.astimezone(_dt.timezone.utc).replace(tzinfo=None)
+        dated.append((stamp, path))
+    if unparsed:
+        raise ValueError(
+            f"cannot parse an ISO date out of {', '.join(unparsed)} "
+            f"(expected {BENCH_PREFIX}<YYYY-MM-DD>.json; candidates: "
+            f"{', '.join(p.name for p in candidates)}); "
+            "pass --baseline explicitly"
+        )
+    newest = max(stamp for stamp, _ in dated)
+    best = [path for stamp, path in dated if stamp == newest]
+    if len(best) > 1:
+        raise ValueError(
+            f"{len(best)} bench files tie for newest "
+            f"({', '.join(p.name for p in best)}); "
+            "pass --baseline explicitly"
+        )
+    return best[0]
 
 
 def compare(

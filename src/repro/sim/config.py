@@ -16,7 +16,7 @@ trade-off analysis rests on — are preserved. All reports use nominal sizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.dram.timings import DramTimings, OFFCHIP_DDR3, STACKED_DRAM
 from repro.units import MB
@@ -93,3 +93,24 @@ class SystemConfig:
     def with_scale(self, capacity_scale: int) -> "SystemConfig":
         """Copy with a different capacity scale factor."""
         return replace(self, capacity_scale=capacity_scale)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Rebuild a config from ``dataclasses.asdict`` output.
+
+        The inverse of the flattening used by job manifests
+        (:mod:`repro.jobs`): nested timing dicts become
+        :class:`DramTimings` again and unknown keys are ignored, so
+        manifests written by newer code still load (any semantic drift is
+        caught by the content keys, which cover every field).
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        timing_fields = {f.name for f in fields(DramTimings)}
+        for device in ("offchip", "stacked"):
+            value = kwargs.get(device)
+            if isinstance(value, dict):
+                kwargs[device] = DramTimings(
+                    **{k: v for k, v in value.items() if k in timing_fields}
+                )
+        return cls(**kwargs)

@@ -14,11 +14,15 @@ This module turns that grid into an explicit work list and provides:
   warmup_fraction and every field of the frozen ``SystemConfig`` (timings
   included) — plus a schema version and the package version, so changing any
   knob or upgrading the model invalidates the entry.
-* :func:`run_sweep` — fan cells out over a lazily-created **persistent**
-  process pool (``max_workers=1`` runs in-process through the *same* cell
-  function, so serial and parallel paths are bit-identical). The pool is
-  reused across ``run_sweep`` calls in one process — ``repro report``
-  issues dozens of sweeps and pays pool startup once.
+* :func:`run_sweep` — a thin client of the resumable job layer
+  (:mod:`repro.jobs`): cells are wrapped in an ephemeral (journal-less)
+  job and executed by :func:`repro.jobs.engine.submit_job`, the single
+  fan-out loop shared with named jobs and ``repro explore``. Cells fan
+  out over a lazily-created **persistent** process pool (``max_workers=1``
+  runs in-process through the *same* cell function, so serial and
+  parallel paths are bit-identical). The pool is reused across
+  ``run_sweep`` calls in one process — ``repro report`` issues dozens of
+  sweeps and pays pool startup once.
 * **Shared-workload fabric** — all designs in a grid row consume the same
   workload, so the parent materializes each unique workload exactly once
   (through the content-keyed :mod:`repro.workloads.arena`), packs its
@@ -53,10 +57,10 @@ import atexit
 import hashlib
 import json
 import os
+import signal
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -69,8 +73,6 @@ from repro.workloads.arena import (
     WorkloadParams,
     attach_workload,
     get_workload_arena,
-    release_segment,
-    share_workload,
 )
 
 #: Bump when the cache file layout (not the simulated content) changes.
@@ -481,6 +483,12 @@ def _worker(
     ``cache_dir`` keeps forked workers honest when tests repoint
     ``REPRO_CACHE_DIR`` after the pool was spawned.
     """
+    kill = os.environ.get("REPRO_TEST_KILL_CELL")
+    if kill and kill == f"{cell.design}/{cell.benchmark}":
+        # Crash-injection hook for the resume tests and the CI
+        # interrupted-resume smoke: die exactly like a hard worker crash,
+        # which the parent observes as BrokenProcessPool.
+        os.kill(os.getpid(), signal.SIGKILL)
     workload = None
     trace_telemetry = None
     if handle is not None:
@@ -690,12 +698,18 @@ def run_sweep(
 ) -> SweepReport:
     """Execute every cell, fanning out across ``max_workers`` processes.
 
-    Cached cells are served without simulation; missing cells are executed
-    (in-process when ``max_workers=1``, else on the persistent process
-    pool) through the same :func:`_execute_cell` function, so the serial
-    and parallel paths produce bit-identical :class:`SimResult`\\ s.
-    Workers persist each cell as it completes, so an interrupted sweep
-    resumes from completed cells.
+    A thin client of the resumable job layer: the cells become an
+    ephemeral (journal-less) :class:`repro.jobs.Job` and run through
+    :func:`repro.jobs.engine.submit_job` — the same fan-out loop behind
+    named jobs, experiment sweeps and ``repro explore``. Cached cells are
+    served without simulation; missing cells are executed (in-process
+    when ``max_workers=1``, else on the persistent process pool) through
+    the same :func:`_execute_cell` function, so the serial and parallel
+    paths produce bit-identical :class:`SimResult`\\ s. Workers persist
+    each cell as it completes, so an interrupted sweep resumes from
+    completed cells; for journaled resume (surviving killed runs even
+    with the result cache disabled), name the work via
+    :func:`repro.jobs.create_job`/``repro sweep --job``.
 
     Duplicate cells (same content key) are simulated once and fanned back
     to every occurrence. On the parallel path the parent materializes
@@ -704,129 +718,13 @@ def run_sweep(
     their cells are submitted, so workers start on the first row while
     the parent is still building later ones.
     """
-    cells = list(cells)
-    if max_workers < 1:
-        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-    if cache is None:
-        cache = get_result_cache()
-    started = time.perf_counter()
+    from repro.jobs import ephemeral_job, submit_job
 
-    slots: List[Optional[CellResult]] = [None] * len(cells)
-    pending: Dict[str, List[int]] = {}
-    for index, cell in enumerate(cells):
-        key = cell.key()
-        entry = cache.get_entry(key) if use_cache else None
-        if entry is not None:
-            result, telemetry = entry
-            slots[index] = _cell_result(cell, result, telemetry, from_cache=True)
-        else:
-            pending.setdefault(key, []).append(index)
-
-    def _finish(key: str, result: SimResult, telemetry: Dict) -> None:
-        first = True
-        for index in pending[key]:
-            slots[index] = _cell_result(
-                cells[index], result, telemetry, from_cache=not first
-            )
-            first = False
-
-    workloads_unique = len(
-        {cells[indices[0]].workload_params().key() for indices in pending.values()}
-    )
-    parent_builds = 0
-    parent_trace_seconds = 0.0
-
-    if pending and max_workers == 1:
-        for key, indices in pending.items():
-            cell = cells[indices[0]]
-            result, telemetry = _execute_cell(cell)
-            if use_cache:
-                cache.put(key, result, telemetry, _cell_describe(cell))
-            _finish(key, result, telemetry)
-    elif pending:
-        persist = use_cache and cache.persist
-        share = shared_traces_enabled()
-        handles: Dict[str, SharedWorkloadHandle] = {}
-        segments: List[str] = []
-        futures: Dict[Future, str] = {}
-        try:
-            if share:
-                pool = _get_pool(max_workers)
-                arena = get_workload_arena()
-                for key, indices in pending.items():
-                    cell = cells[indices[0]]
-                    params = cell.workload_params()
-                    wkey = params.key()
-                    handle = handles.get(wkey)
-                    if handle is None:
-                        workload, trace_tel = arena.fetch(params)
-                        parent_trace_seconds += trace_tel["trace_build_seconds"]
-                        if trace_tel["trace_source"] == "built":
-                            parent_builds += 1
-                        handle = share_workload(wkey, workload)
-                        handles[wkey] = handle
-                        segments.append(handle.shm_name)
-                    futures[
-                        pool.submit(
-                            _worker, cell, str(cache.directory), persist, handle
-                        )
-                    ] = key
-            else:
-                # Fabric disabled: ephemeral pool, workers build their own
-                # workloads (each worker's arena memoizes across its cells).
-                pool = ProcessPoolExecutor(
-                    max_workers=min(max_workers, len(pending))
-                )
-                for key, indices in pending.items():
-                    futures[
-                        pool.submit(
-                            _worker,
-                            cells[indices[0]],
-                            str(cache.directory),
-                            persist,
-                            None,
-                        )
-                    ] = key
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    key = futures[future]
-                    result, telemetry = future.result()
-                    if use_cache:
-                        # Workers persisted to disk already; adopt into the
-                        # parent's memory tier without a re-read.
-                        cache.remember(key, result, telemetry)
-                    _finish(key, result, telemetry)
-        except BrokenProcessPool:
-            # A worker died mid-flight; the pool is poisoned. Drop it so
-            # the next sweep starts clean.
-            if share:
-                shutdown_worker_pool()
-            raise
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
-        finally:
-            for name in segments:
-                release_segment(name)
-            if not share:
-                pool.shutdown(wait=False, cancel_futures=True)
-
-    executed = [slot for slot in slots if slot is not None]
-    workloads_built = parent_builds + sum(
-        1
-        for c in executed
-        if not c.from_cache and c.trace_source == "built"
-    )
-    return SweepReport(
-        cells=executed,
+    return submit_job(
+        ephemeral_job(cells),
         max_workers=max_workers,
-        elapsed_seconds=time.perf_counter() - started,
-        workloads_unique=workloads_unique if pending else 0,
-        workloads_built=workloads_built,
-        parent_trace_seconds=parent_trace_seconds,
+        cache=cache,
+        use_cache=use_cache,
     )
 
 

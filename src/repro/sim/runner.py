@@ -1,9 +1,14 @@
 """Convenience runners: simulate designs over workloads and compute speedups.
 
-Baseline (``no-cache``) results are cached through the persistent sweep
-cache in :mod:`repro.sim.parallel` because every paper figure normalizes
-against the same baseline; the cache key covers the full frozen
-``SystemConfig`` plus ``warmup_fraction``, ``reads_per_core`` and ``seed``.
+Every named-design run here routes through the sweep/job execution layer
+(:func:`repro.sim.parallel.run_sweep`, itself a thin client of
+:mod:`repro.jobs`), so there is exactly **one** execution entry point in
+the codebase: :func:`run_design` is the per-cell primitive the executor
+calls, and everything else is a one-cell sweep. Baseline (``no-cache``)
+results are served from the persistent result cache because every paper
+figure normalizes against the same baseline; the cache key covers the full
+frozen ``SystemConfig`` plus ``warmup_fraction``, ``reads_per_core`` and
+``seed``.
 """
 
 from __future__ import annotations
@@ -13,7 +18,6 @@ from typing import Callable, Dict, Iterable, Optional, Tuple, Union
 from repro.sim.config import SystemConfig
 from repro.sim.results import SimResult
 from repro.sim.system import System
-from repro.workloads.spec import build_workload
 from repro.workloads.trace import Workload
 
 #: Default trace length per core for experiments; large enough to reach
@@ -39,6 +43,36 @@ def run_design(
     return system.run()
 
 
+def run_cell(
+    design: str,
+    benchmark: str,
+    config: Optional[SystemConfig] = None,
+    reads_per_core: int = DEFAULT_READS_PER_CORE,
+    warmup_fraction: float = 0.25,
+    seed: int = 1,
+    use_cache: bool = False,
+) -> SimResult:
+    """One-cell sweep through the shared execution layer.
+
+    The single serial entry point behind :func:`run_benchmark` and
+    :func:`baseline_result`: builds a :class:`~repro.sim.parallel.SweepCell`
+    and runs it through :func:`~repro.sim.parallel.run_sweep`, so workload
+    materialization (content-keyed arena), caching and telemetry behave
+    identically to every other execution path.
+    """
+    from repro.sim.parallel import SweepCell, run_sweep
+
+    cell = SweepCell(
+        design=design,
+        benchmark=benchmark,
+        config=config or SystemConfig(),
+        reads_per_core=reads_per_core,
+        warmup_fraction=warmup_fraction,
+        seed=seed,
+    )
+    return run_sweep([cell], max_workers=1, use_cache=use_cache).cells[0].result
+
+
 def run_benchmark(
     design: str,
     benchmark: str,
@@ -47,16 +81,20 @@ def run_benchmark(
     warmup_fraction: float = 0.25,
     seed: int = 1,
 ) -> SimResult:
-    """Build the rate-mode workload for ``benchmark`` and simulate ``design``."""
-    config = config or SystemConfig()
-    workload = build_workload(
+    """Build the rate-mode workload for ``benchmark`` and simulate ``design``.
+
+    Always simulates (no result-cache consultation) — the historical
+    contract of this helper, which verification harnesses rely on.
+    """
+    return run_cell(
+        design,
         benchmark,
-        num_cores=config.num_cores,
-        reads_per_core=reads_per_core,
-        capacity_scale=config.capacity_scale,
+        config,
+        reads_per_core,
+        warmup_fraction=warmup_fraction,
         seed=seed,
+        use_cache=False,
     )
-    return run_design(design, workload, config, warmup_fraction=warmup_fraction)
 
 
 def baseline_result(
@@ -68,30 +106,19 @@ def baseline_result(
 ) -> SimResult:
     """The ``no-cache`` baseline for a benchmark, cached across experiments.
 
-    Served from (and stored into) the persistent sweep cache; the key
-    includes ``warmup_fraction``, so non-default-warmup runs no longer
-    normalize against a 0.25-warmup baseline.
+    Served from (and stored into) the persistent sweep cache by the shared
+    executor; the key includes ``warmup_fraction``, so non-default-warmup
+    runs no longer normalize against a 0.25-warmup baseline.
     """
-    from repro.sim.parallel import cell_key, get_result_cache
-
-    config = config or SystemConfig()
-    cache = get_result_cache()
-    key = cell_key(
-        "no-cache", benchmark, config, reads_per_core, warmup_fraction, seed
-    )
-    cached = cache.get(key)
-    if cached is not None:
-        return cached
-    result = run_benchmark(
+    return run_cell(
         "no-cache",
         benchmark,
         config,
         reads_per_core,
         warmup_fraction=warmup_fraction,
         seed=seed,
+        use_cache=True,
     )
-    cache.put(key, result)
-    return result
 
 
 def speedup(

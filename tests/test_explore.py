@@ -1,0 +1,213 @@
+"""Tests for the design-space exploration engine (repro.explore)."""
+
+import json
+
+import pytest
+
+from repro.explore import (
+    ConfigPoint,
+    ExploreSpace,
+    PointMetrics,
+    dominates,
+    explore,
+    pareto_front,
+    select_survivors,
+)
+from repro.jobs import list_jobs
+from repro.sim.config import SystemConfig
+from repro.sim.parallel import ResultCache
+from repro.units import MB
+
+
+def metric(label, latency, hit=0.5, bus=0.5, ed2=1.0):
+    return PointMetrics(
+        point=ConfigPoint(design=label),
+        reads_per_core=100,
+        round_index=0,
+        latency=latency,
+        hit_rate=hit,
+        bandwidth=bus,
+        ed2=ed2,
+        cycles=1000.0,
+    )
+
+
+def tiny_space() -> ExploreSpace:
+    return ExploreSpace(
+        designs=("alloy-map-i", "lh-cache", "sram-tag"),
+        benchmarks=("sphinx_r",),
+        page_policies=("open",),
+        line_bursts=(4,),
+        cache_mbs=(128,),
+        timings=("paper", "fast"),
+        capacity_scales=(4096,),
+    )
+
+
+class TestSpace:
+    def test_default_space_exceeds_200_cells(self):
+        space = ExploreSpace()
+        assert space.num_points == len(space.points())
+        assert space.num_cells >= 200
+
+    def test_point_config_applies_every_axis(self):
+        point = ConfigPoint(
+            design="alloy-map-i",
+            page_policy="closed",
+            line_burst=8,
+            cache_mb=128,
+            timing="fast",
+            capacity_scale=512,
+        )
+        config = point.config(SystemConfig())
+        assert config.stacked_page_policy == "closed"
+        assert config.cache_size_bytes == 128 * MB
+        assert config.capacity_scale == 512
+        assert config.stacked.line_burst == 8
+        assert config.stacked.t_act == 12
+
+    def test_unknown_timing_rejected(self):
+        with pytest.raises(ValueError, match="unknown timing"):
+            ExploreSpace(timings=("warp",))
+
+    def test_points_are_deterministic(self):
+        assert tiny_space().points() == tiny_space().points()
+
+
+class TestPareto:
+    def test_dominates_requires_strictness(self):
+        a, b = metric("a", 100.0), metric("b", 100.0)
+        assert not dominates(a, b) and not dominates(b, a)
+        assert dominates(metric("c", 90.0), b)
+
+    def test_front_keeps_tradeoffs(self):
+        fast_low_hit = metric("a", 90.0, hit=0.3)
+        slow_high_hit = metric("b", 110.0, hit=0.9)
+        dominated = metric("c", 120.0, hit=0.2)
+        front = pareto_front([fast_low_hit, slow_high_hit, dominated])
+        assert [m.point.design for m in front] == ["a", "b"]
+
+    def test_front_of_identical_points_keeps_all(self):
+        ms = [metric("a", 100.0), metric("b", 100.0)]
+        assert len(pareto_front(ms)) == 2
+
+    def test_survivors_prefer_frontier_then_rank(self):
+        ms = [
+            metric("worst", 130.0, hit=0.1),
+            metric("best", 90.0, hit=0.9),
+            metric("mid", 100.0, hit=0.5),
+        ]
+        picked = select_survivors(ms, 2)
+        assert [m.point.design for m in picked] == ["best", "mid"]
+
+    def test_survivors_deterministic_under_ties(self):
+        ms = [metric("b", 100.0), metric("a", 100.0)]
+        assert [
+            m.point.design for m in select_survivors(ms, 1)
+        ] == ["a"]  # label tie-break
+
+
+class TestExploreStrategies:
+    def test_halving_checkpoints_rounds_and_reports_frontier(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        report = explore(
+            tiny_space(),
+            "halving",
+            name="t",
+            reads_per_core=150,
+            eta=2,
+            keep=2,
+            cache=ResultCache(tmp_path, persist=True),
+        )
+        assert len(report.rounds) >= 2
+        assert report.rounds[0].points == 6
+        assert report.rounds[-1].points <= 2
+        # Fidelity grows by eta each round.
+        assert report.rounds[1].reads_per_core == 300
+        assert report.frontier and len(report.frontier) <= len(
+            report.evaluated
+        )
+        assert report.killed  # dominated configs were culled
+        # Every round landed as a checkpointed job on disk.
+        names = {info.name for info in list_jobs(tmp_path)}
+        assert {f"t-r{r.index}" for r in report.rounds} <= names
+
+    def test_halving_resumes_from_journals(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        kwargs = dict(
+            name="t",
+            reads_per_core=150,
+            eta=2,
+            keep=2,
+            cache=ResultCache(tmp_path, persist=True),
+        )
+        first = explore(tiny_space(), "halving", **kwargs)
+        again = explore(tiny_space(), "halving", **kwargs)
+        # Identical arguments -> identical jobs -> pure journal replay.
+        assert all(r.cache_hits == r.cells for r in again.rounds)
+        assert [m.point.label for m in again.frontier] == [
+            m.point.label for m in first.frontier
+        ]
+        for a, b in zip(first.evaluated, again.evaluated):
+            assert a.latency == b.latency and a.ed2 == b.ed2
+
+    def test_grid_and_random_single_round(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ResultCache(tmp_path, persist=True)
+        grid = explore(
+            tiny_space(), "grid", name="g", reads_per_core=150, cache=cache
+        )
+        assert len(grid.rounds) == 1
+        assert len(grid.evaluated) == 6
+        sampled = explore(
+            tiny_space(),
+            "random",
+            name="s",
+            reads_per_core=150,
+            samples=3,
+            cache=cache,
+        )
+        assert len(sampled.evaluated) == 3
+        assert sampled.frontier
+
+    def test_max_rounds_caps_halving(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        report = explore(
+            tiny_space(),
+            "halving",
+            name="cap",
+            reads_per_core=150,
+            eta=2,
+            keep=1,
+            max_rounds=1,
+            cache=ResultCache(tmp_path, persist=True),
+        )
+        assert len(report.rounds) == 1
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            explore(tiny_space(), "genetic")
+
+    def test_payload_and_render(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        report = explore(
+            tiny_space(),
+            "grid",
+            name="p",
+            reads_per_core=150,
+            cache=ResultCache(tmp_path, persist=True),
+        )
+        payload = report.to_payload()
+        json.dumps(payload)  # JSON-safe
+        assert payload["kind"] == "repro-explore"
+        assert payload["frontier"]
+        assert all(
+            set(("point", "latency", "hit_rate", "bandwidth", "ed2"))
+            <= set(m)
+            for m in payload["frontier"]
+        )
+        text = report.render()
+        assert "Pareto frontier" in text
+        assert report.frontier[0].point.label in text

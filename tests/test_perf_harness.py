@@ -18,6 +18,7 @@ from repro.perf.bench import (
     BenchCell,
     BenchRun,
     compare,
+    latest_bench_file,
     load_bench,
     make_bench_grid,
     time_cell,
@@ -197,3 +198,35 @@ class TestGoldenHelpers:
         assert diffs == ["$.b: missing from current run"]
         diffs = diff_payloads({"a": 1, "c": 3}, {"a": 1})
         assert diffs == ["$.c: not in golden file"]
+
+
+class TestLatestBenchFile:
+    def test_none_when_empty(self, tmp_path):
+        assert latest_bench_file(tmp_path) is None
+
+    def test_picks_newest_by_parsed_date(self, tmp_path):
+        (tmp_path / "BENCH_2025-12-31.json").write_text("{}")
+        (tmp_path / "BENCH_2026-01-02.json").write_text("{}")
+        (tmp_path / "BENCH_2026-01-02T18-00.json").write_text("{}")
+        # Datetime-stamped payloads are accepted alongside plain dates.
+        assert (
+            latest_bench_file(tmp_path).name
+            == "BENCH_2026-01-02T18-00.json"
+        )
+
+    def test_unparseable_name_lists_candidates(self, tmp_path):
+        (tmp_path / "BENCH_2026-01-01.json").write_text("{}")
+        (tmp_path / "BENCH_oops.json").write_text("{}")
+        with pytest.raises(ValueError) as err:
+            latest_bench_file(tmp_path)
+        message = str(err.value)
+        assert "BENCH_oops.json" in message
+        assert "BENCH_2026-01-01.json" in message
+        assert "--baseline" in message
+
+    def test_tie_for_newest_is_an_error(self, tmp_path):
+        # A date and the same date's midnight parse to the same instant.
+        (tmp_path / "BENCH_2026-01-01.json").write_text("{}")
+        (tmp_path / "BENCH_2026-01-01T00-00.json").write_text("{}")
+        with pytest.raises(ValueError, match="tie for newest"):
+            latest_bench_file(tmp_path)
