@@ -96,8 +96,32 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--benchmarks",
-        default="mcf_r,lbm_r,soplex_r,milc_r",
-        help="comma-separated benchmark names (the _r suffix is optional)",
+        default=None,
+        help=(
+            "comma-separated workload names: catalog benchmarks (the _r "
+            "suffix is optional) and/or mixes mix1..mix7 "
+            "(default mcf_r,lbm_r,soplex_r,milc_r; empty when --trace "
+            "is given)"
+        ),
+    )
+    parser.add_argument(
+        "--trace",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help=(
+            "add an external trace file (DRAMSim2 k6/mase or interchange "
+            "CSV, optionally gzipped) as a workload column; repeatable"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("k6", "mase", "csv"),
+        default=None,
+        help=(
+            "format of --trace files (default: sniffed from the file "
+            "name: k6*/mase* prefix or .csv[.gz] extension)"
+        ),
     )
     parser.add_argument(
         "--reads",
@@ -270,7 +294,10 @@ def build_explore_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--benchmarks",
         default=",".join(DEFAULT_BENCHMARKS),
-        help="comma-separated benchmarks each config is scored on",
+        help=(
+            "comma-separated workloads each config is scored on: catalog "
+            "benchmarks and/or mixes mix1..mix7"
+        ),
     )
     parser.add_argument(
         "--page-policies",
@@ -506,7 +533,7 @@ def _bench_main(argv: List[str]) -> int:
 
     from repro.dramcache.factory import DESIGN_NAMES
     from repro.perf import bench as perf_bench
-    from repro.workloads.spec import get_benchmark
+    from repro.workloads.spec import resolve_workload
 
     args = build_bench_parser().parse_args(argv)
     designs = list(
@@ -530,7 +557,7 @@ def _bench_main(argv: List[str]) -> int:
     if args.benchmarks:
         try:
             benchmarks = [
-                get_benchmark(name.strip()).name
+                resolve_workload(name.strip())
                 for name in args.benchmarks.split(",")
                 if name.strip()
             ]
@@ -817,7 +844,7 @@ def _breakdown_main(argv: List[str]) -> int:
 
     from repro.dramcache.factory import DESIGN_NAMES
     from repro.sim.parallel import make_cells, run_sweep
-    from repro.workloads.spec import get_benchmark
+    from repro.workloads.spec import resolve_workload
 
     designs = [
         _DESIGN_ALIASES.get(name.strip().lower(), name.strip().lower())
@@ -831,7 +858,7 @@ def _breakdown_main(argv: List[str]) -> int:
         return 2
     try:
         benchmarks = [
-            get_benchmark(name.strip()).name
+            resolve_workload(name.strip())
             for name in args.benchmarks.split(",")
             if name.strip()
         ]
@@ -873,6 +900,45 @@ def _breakdown_main(argv: List[str]) -> int:
     return 0
 
 
+def _trace_cells(paths, format, designs, warmup_fraction, seed):
+    """Decode external trace files into sweep cells (plus their specs).
+
+    Each file becomes one workload column: its cells carry the content-
+    keyed ``trace:`` spec as the benchmark, a config with ``num_cores``
+    taken from the decoded workload (k6/mase streams are single-core),
+    and ``reads_per_core=0`` (the file defines its own length). The
+    decoded workload is adopted into the arena so the sweep's fetch is a
+    memo hit rather than a second streaming decode.
+    """
+    from dataclasses import replace
+
+    from repro.sim.config import SystemConfig
+    from repro.sim.parallel import SweepCell
+    from repro.workloads.arena import get_workload_arena
+    from repro.workloads.tracefile import trace_workload_spec, workload_from_spec
+
+    cells = []
+    specs = []
+    for path in paths:
+        spec = trace_workload_spec(path, format=format)
+        workload = workload_from_spec(spec)
+        specs.append(spec)
+        config = replace(SystemConfig(), num_cores=workload.num_cores)
+        for design in designs:
+            cells.append(
+                SweepCell(
+                    design=design,
+                    benchmark=spec,
+                    config=config,
+                    reads_per_core=0,
+                    warmup_fraction=warmup_fraction,
+                    seed=seed,
+                )
+            )
+        get_workload_arena().adopt(cells[-1].workload_params(), workload)
+    return cells, specs
+
+
 def _sweep_main(argv: List[str]) -> int:
     from pathlib import Path
 
@@ -880,7 +946,7 @@ def _sweep_main(argv: List[str]) -> int:
     from repro.jobs import create_job, open_job, submit_job
     from repro.sim.parallel import ResultCache, make_cells, run_sweep
     from repro.sim.runner import geometric_mean
-    from repro.workloads.spec import get_benchmark
+    from repro.workloads.spec import resolve_workload
 
     args = build_sweep_parser().parse_args(argv)
     if args.max_workers < 1:
@@ -930,10 +996,14 @@ def _sweep_main(argv: List[str]) -> int:
             print(f"unknown designs: {', '.join(unknown)}", file=sys.stderr)
             print(f"known: {', '.join(DESIGN_NAMES)}", file=sys.stderr)
             return 2
+        # --trace with no explicit --benchmarks sweeps only the traces.
+        named = args.benchmarks
+        if named is None:
+            named = "" if args.trace else "mcf_r,lbm_r,soplex_r,milc_r"
         try:
             benchmarks = [
-                get_benchmark(name.strip()).name
-                for name in args.benchmarks.split(",")
+                resolve_workload(name.strip())
+                for name in named.split(",")
                 if name.strip()
             ]
         except KeyError as exc:
@@ -948,6 +1018,23 @@ def _sweep_main(argv: List[str]) -> int:
             warmup_fraction=args.warmup,
             seed=args.seed,
         )
+        if args.trace:
+            try:
+                trace_cells, trace_specs = _trace_cells(
+                    args.trace,
+                    args.format,
+                    grid,
+                    warmup_fraction=args.warmup,
+                    seed=args.seed,
+                )
+            except (OSError, ValueError) as exc:
+                print(f"sweep: {exc}", file=sys.stderr)
+                return 2
+            cells = [*cells, *trace_cells]
+            benchmarks = [*benchmarks, *trace_specs]
+        if not cells:
+            print("sweep: no workloads selected", file=sys.stderr)
+            return 2
         if args.job:
             job = create_job(args.job, cells, cache_dir=cache_dir)
             print(
@@ -1099,7 +1186,7 @@ def _explore_main(argv: List[str]) -> int:
 
     from repro.dramcache.factory import DESIGN_NAMES
     from repro.explore import ExploreSpace, explore
-    from repro.workloads.spec import get_benchmark
+    from repro.workloads.spec import resolve_workload
 
     args = build_explore_parser().parse_args(argv)
     if args.max_workers < 1:
@@ -1123,7 +1210,7 @@ def _explore_main(argv: List[str]) -> int:
         return 2
     try:
         benchmarks = [
-            get_benchmark(name).name for name in split(args.benchmarks)
+            resolve_workload(name) for name in split(args.benchmarks)
         ]
         space = ExploreSpace(
             designs=tuple(designs),

@@ -110,7 +110,13 @@ class ConfigPoint:
 
 @dataclass(frozen=True)
 class ExploreSpace:
-    """Cross product of config axes x benchmarks."""
+    """Cross product of config axes x workloads.
+
+    The workload axis accepts every name :func:`~repro.workloads.spec.
+    resolve_workload` does — catalog benchmarks, heterogeneous mixes
+    (``mix1``..``mix7``) and ``trace:`` specs — so DSE runs over mixes
+    and ingested traces exactly like rate-mode benchmarks.
+    """
 
     designs: Tuple[str, ...] = DEFAULT_DESIGNS
     benchmarks: Tuple[str, ...] = DEFAULT_BENCHMARKS
@@ -121,12 +127,20 @@ class ExploreSpace:
     capacity_scales: Tuple[int, ...] = (256,)
 
     def __post_init__(self) -> None:
+        from repro.workloads.spec import resolve_workload
+
         unknown = [t for t in self.timings if t not in STACKED_TIMING_PRESETS]
         if unknown:
             raise ValueError(
                 f"unknown timing presets {unknown}; "
                 f"known: {sorted(STACKED_TIMING_PRESETS)}"
             )
+        # Canonicalize the workload axis up front (raises KeyError on an
+        # unknown name), so cell keys and job names are stable however the
+        # space was spelled.
+        resolved = tuple(resolve_workload(b) for b in self.benchmarks)
+        if resolved != self.benchmarks:
+            object.__setattr__(self, "benchmarks", resolved)
 
     def points(self) -> List[ConfigPoint]:
         """Every config point, in deterministic axis order."""

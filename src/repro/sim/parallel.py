@@ -151,13 +151,14 @@ class SweepCell:
     def workload_params(self) -> WorkloadParams:
         """The content-keyed workload this cell consumes.
 
-        Benchmark name canonicalized (``gcc`` and ``gcc_r`` share one
-        arena entry), so every design in a grid row maps to the same key.
+        The workload name is resolved (``gcc`` and ``gcc_r`` share one
+        arena entry; mixes and ``trace:`` specs pass through validated),
+        so every design in a grid row maps to the same key.
         """
-        from repro.workloads.spec import get_benchmark
+        from repro.workloads.spec import resolve_workload
 
         return WorkloadParams(
-            benchmark=get_benchmark(self.benchmark).name,
+            benchmark=resolve_workload(self.benchmark),
             num_cores=self.config.num_cores,
             reads_per_core=self.reads_per_core,
             capacity_scale=self.config.capacity_scale,

@@ -1,4 +1,5 @@
-"""Workload synthesis: traces, access-pattern generators, SPEC-like catalog."""
+"""Workload synthesis: traces, access-pattern generators, SPEC-like catalog,
+heterogeneous mixes, and external (DRAMSim2 k6/mase, CSV) trace ingestion."""
 
 from repro.workloads.trace import CoreTrace, Workload
 from repro.workloads.patterns import (
@@ -6,10 +7,26 @@ from repro.workloads.patterns import (
     generate_core_trace,
 )
 from repro.workloads.tracefile import (
+    NOMINAL_INSTRUCTIONS_PER_REQUEST,
+    TRACE_FORMATS,
     save_workload,
     load_workload,
     export_csv,
     import_csv,
+    decode_trace,
+    sniff_format,
+    file_digest,
+    trace_workload_spec,
+    is_trace_spec,
+    parse_trace_spec,
+    workload_from_spec,
+)
+from repro.workloads.mixes import (
+    MIXES,
+    MixSpec,
+    is_mix,
+    get_mix,
+    generate_mix_workload,
 )
 from repro.workloads.spec import (
     BenchmarkSpec,
@@ -17,6 +34,7 @@ from repro.workloads.spec import (
     SECONDARY_BENCHMARKS,
     ALL_BENCHMARKS,
     get_benchmark,
+    resolve_workload,
     build_workload,
 )
 
@@ -30,9 +48,24 @@ __all__ = [
     "SECONDARY_BENCHMARKS",
     "ALL_BENCHMARKS",
     "get_benchmark",
+    "resolve_workload",
     "build_workload",
+    "MIXES",
+    "MixSpec",
+    "is_mix",
+    "get_mix",
+    "generate_mix_workload",
+    "NOMINAL_INSTRUCTIONS_PER_REQUEST",
+    "TRACE_FORMATS",
     "save_workload",
     "load_workload",
     "export_csv",
     "import_csv",
+    "decode_trace",
+    "sniff_format",
+    "file_digest",
+    "trace_workload_spec",
+    "is_trace_spec",
+    "parse_trace_spec",
+    "workload_from_spec",
 ]

@@ -87,8 +87,14 @@ class WorkloadParams:
 
         Covers every generation input plus :data:`GENERATOR_VERSION` (a
         generator change invalidates persisted arenas) and
-        :data:`TRACE_SCHEMA` (a layout change invalidates the files).
+        :data:`TRACE_SCHEMA` (a layout change invalidates the files). For
+        mixes the mix-table revision is folded in, so recomposing a mix
+        invalidates its persisted arenas; for external traces the
+        benchmark string is a ``trace:`` spec whose embedded content
+        digest keys the file's bytes.
         """
+        from repro.workloads.mixes import MIX_REVISION, is_mix
+
         payload = {
             "schema": TRACE_SCHEMA,
             "generator": GENERATOR_VERSION,
@@ -98,6 +104,8 @@ class WorkloadParams:
             "capacity_scale": self.capacity_scale,
             "seed": self.seed,
         }
+        if is_mix(self.benchmark):
+            payload["mix_revision"] = MIX_REVISION
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -176,6 +184,19 @@ class WorkloadArena:
             "trace_build_seconds": elapsed,
         }
 
+    def adopt(self, params: WorkloadParams, workload: Workload) -> None:
+        """Pre-seed both tiers with an externally materialized workload.
+
+        Used by the CLI after decoding an external trace file: the decode
+        already happened (to learn the core count for cell construction),
+        so adopting it means the subsequent sweep's ``fetch`` is a memo
+        hit instead of a second streaming decode of the same file.
+        """
+        key = params.key()
+        self._remember(key, workload)
+        if self._persist() and not self._path(key).exists():
+            save_arena(self._path(key), workload, params)
+
     def _remember(self, key: str, workload: Workload) -> None:
         while len(self._memory) >= self.memo_capacity:
             self._memory.pop(next(iter(self._memory)))
@@ -192,8 +213,23 @@ class WorkloadArena:
 
 
 def _generate(params: WorkloadParams) -> Workload:
-    # Local import: spec's build_workload delegates here (no import cycle
-    # at module load).
+    # Local imports: spec's build_workload delegates here (no import
+    # cycle at module load).
+    from repro.workloads.mixes import generate_mix_workload, is_mix
+    from repro.workloads.tracefile import is_trace_spec, workload_from_spec
+
+    if is_trace_spec(params.benchmark):
+        # The file defines length and core count; the remaining params
+        # are pinned by the cell-construction path.
+        return workload_from_spec(params.benchmark)
+    if is_mix(params.benchmark):
+        return generate_mix_workload(
+            params.benchmark,
+            num_cores=params.num_cores,
+            reads_per_core=params.reads_per_core,
+            capacity_scale=params.capacity_scale,
+            seed=params.seed,
+        )
     from repro.workloads.spec import generate_workload
 
     return generate_workload(

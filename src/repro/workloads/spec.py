@@ -227,6 +227,40 @@ def get_benchmark(name: str) -> BenchmarkSpec:
     raise KeyError(f"unknown benchmark {name!r}; known: {sorted(ALL_BENCHMARKS)}")
 
 
+def resolve_workload(name: str) -> str:
+    """Canonicalize any workload name a cell/CLI may carry.
+
+    Three kinds are accepted everywhere a benchmark used to be:
+
+    * catalog benchmarks (``gcc_r``, suffix-less ``gcc``) — canonical
+      catalog name,
+    * heterogeneous mixes (``mix1``..``mix7``) — returned as-is,
+    * trace specs (``trace:<format>:<digest16>:<path>``, from
+      :func:`repro.workloads.tracefile.trace_workload_spec`) — validated
+      and returned as-is, so the content digest rides inside every cache
+      key derived from the cell.
+
+    Raises :class:`KeyError` for unknown names, listing all three kinds.
+    """
+    from repro.workloads.mixes import MIXES, is_mix
+    from repro.workloads.tracefile import is_trace_spec, parse_trace_spec
+
+    if is_trace_spec(name):
+        parse_trace_spec(name)  # raises ValueError on malformed specs
+        return name
+    if is_mix(name):
+        return name
+    try:
+        return get_benchmark(name).name
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known benchmarks: "
+            f"{sorted(ALL_BENCHMARKS)}; mixes: {sorted(MIXES)}; or a "
+            f"'trace:<format>:<digest>:<path>' spec from "
+            f"trace_workload_spec()"
+        ) from None
+
+
 def generate_workload(
     name: str,
     num_cores: int = 8,
@@ -265,15 +299,16 @@ def build_workload(
     The arena memoizes in-process (replacing this function's former
     ``lru_cache``) and persists ``.npz`` trace arenas under
     ``.repro_cache/traces/`` keyed by content, so repeated processes reuse
-    materialized traces instead of re-running the generators. The benchmark
-    name is canonicalized first so ``"gcc"`` and ``"gcc_r"`` share a cache
-    entry.
+    materialized traces instead of re-running the generators. The name is
+    resolved first so ``"gcc"`` and ``"gcc_r"`` share a cache entry, and
+    mixes (``mix1``..``mix7``) and trace specs build through the same
+    arena path as catalog benchmarks.
     """
     # Local import: arena generates via generate_workload() above.
     from repro.workloads.arena import WorkloadParams, get_workload_arena
 
     params = WorkloadParams(
-        benchmark=get_benchmark(name).name,
+        benchmark=resolve_workload(name),
         num_cores=num_cores,
         reads_per_core=reads_per_core,
         capacity_scale=capacity_scale,

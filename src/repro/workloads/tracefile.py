@@ -1,22 +1,51 @@
-"""Trace file I/O: persist workloads and import external traces.
+"""Trace file I/O: persist workloads, import external traces, decode
+DRAMSim2 formats.
 
-Two formats:
+Four interchange surfaces:
 
 * **npz** (preferred): all of a workload's per-core arrays in one compressed
   numpy archive — lossless round-trip of :class:`~repro.workloads.trace.Workload`.
 * **CSV** (interchange): one request per line, ``core,gap,address,write,pc``
   — easy to produce from Pin/DynamoRIO/valgrind tooling or by hand.
+  ``.csv.gz`` is accepted and produced transparently.
+* **k6** (DRAMSim2): ``<hex-address> <command> <cycle>`` with
+  ``P_MEM_RD``/``P_FETCH``/``P_LOCK_RD`` reads, ``P_MEM_WR``/``P_LOCK_WR``
+  writes and ``BOFF`` records ignored.
+* **mase** (DRAMSim2): same line shape with ``IFETCH``/``MEMRD`` reads and
+  ``MEMWR`` writes.
 
-This lets users run the simulator on *real* traces instead of the synthetic
-catalog: capture an application's L3-miss stream, convert to CSV, load it,
-and hand it to :func:`repro.sim.runner.run_design`.
+The k6/mase decoders are **streaming**: the file (gzip-compressed or not —
+detected by magic bytes, not suffix) is read in fixed-size byte blocks,
+each block is parsed through vectorized numpy column operations, and only
+the resulting arrays are kept — the text of the trace is never materialized
+whole, so trace files larger than memory decode fine. Decoded requests are
+normalized into the exact :class:`~repro.workloads.trace.CoreTrace` dtypes
+the generators produce (``gaps`` float64 cycle deltas, line ``addresses``
+int64, ``is_write`` bool, ``pcs`` int64), so an ingested workload is
+indistinguishable from a generated one everywhere downstream (arena,
+shared-memory fan-out, both simulation engines).
+
+To run external traces through sweeps/jobs/explore, a file is named by a
+**trace spec** string — ``trace:<format>:<digest16>:<path>`` from
+:func:`trace_workload_spec` — which embeds a SHA-256 prefix of the file's
+raw bytes. The spec is used verbatim as the cell's ``benchmark``, so result
+-cache keys and ``.npz`` trace-arena keys are stable for identical content
+and roll over automatically when the file changes.
+
+Malformed input fails fast with the offending file and line number instead
+of crashing deep inside the simulator.
 """
 
 from __future__ import annotations
 
 import csv
+import gzip
+import hashlib
+import io
+import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Union
+from typing import FrozenSet, List, Optional, Union
 
 import numpy as np
 
@@ -24,7 +53,64 @@ from repro.workloads.trace import CoreTrace, Workload
 
 PathLike = Union[str, Path]
 
+#: Nominal instructions attributed per imported/decoded request when the
+#: source carries no instruction counts (only MPKI reporting depends on
+#: it: 50 instructions/request == MPKI 20 for an all-read stream).
+NOMINAL_INSTRUCTIONS_PER_REQUEST = 50
 
+#: Streaming decode block size. Small enough that tests exercise multi-
+#: block decodes with tiny fixtures via the parameter; large enough that
+#: real traces decode in few syscalls.
+DEFAULT_CHUNK_BYTES = 1 << 20
+
+#: log2(line size): external byte addresses are normalized to 64 B lines.
+LINE_SHIFT = 6
+
+#: Formats accepted by :func:`decode_trace` / ``repro sweep --format``.
+TRACE_FORMATS = ("k6", "mase", "csv")
+
+#: Prefix of canonical trace-spec workload names.
+TRACE_SPEC_PREFIX = "trace:"
+
+
+# ----------------------------------------------------------------------
+# Gzip-aware streams
+# ----------------------------------------------------------------------
+def _open_stream(path: PathLike):
+    """Binary read stream, transparently gunzipping (magic, not suffix)."""
+    handle = open(path, "rb")
+    try:
+        magic = handle.read(2)
+        handle.seek(0)
+    except OSError:
+        handle.close()
+        raise
+    if magic == b"\x1f\x8b":
+        return gzip.GzipFile(fileobj=handle)
+    return handle
+
+
+def _open_text(path: PathLike):
+    """Text read stream over :func:`_open_stream` (for the CSV reader)."""
+    return io.TextIOWrapper(_open_stream(path), newline="")
+
+
+def file_digest(path: PathLike) -> str:
+    """SHA-256 over the file's raw bytes (compressed form as stored),
+    streamed in blocks so huge traces never load whole."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(DEFAULT_CHUNK_BYTES)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# npz round-trip
+# ----------------------------------------------------------------------
 def save_workload(workload: Workload, path: PathLike) -> None:
     """Save a workload to a compressed ``.npz`` archive."""
     arrays = {"name": np.array(workload.name), "num_cores": np.array(workload.num_cores)}
@@ -55,14 +141,36 @@ def load_workload(path: PathLike) -> Workload:
         return Workload(name=str(data["name"]), cores=cores)
 
 
+# ----------------------------------------------------------------------
+# CSV interchange
+# ----------------------------------------------------------------------
 def export_csv(workload: Workload, path: PathLike) -> None:
-    """Write a workload as interchange CSV (core,gap,address,write,pc)."""
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["core", "gap", "address", "write", "pc"])
-        for core_id, trace in enumerate(workload.cores):
-            for gap, address, is_write, pc in trace.records():
-                writer.writerow([core_id, gap, address, int(is_write), pc])
+    """Write a workload as interchange CSV (core,gap,address,write,pc).
+
+    Row assembly is vectorized: each column is formatted with
+    ``np.char.mod`` (``%.17g`` for gaps, so float64 values survive the
+    text round-trip exactly) and the columns are joined array-wide. A
+    ``.gz`` suffix gzips the output; :func:`import_csv` reads either.
+    """
+    chunks = ["core,gap,address,write,pc"]
+    for core_id, trace in enumerate(workload.cores):
+        if not len(trace):
+            continue
+        rows = np.char.mod("%d,", np.full(len(trace), core_id, dtype=np.int64))
+        rows = np.char.add(rows, np.char.mod("%.17g,", trace.gaps))
+        rows = np.char.add(rows, np.char.mod("%d,", trace.addresses))
+        rows = np.char.add(
+            rows, np.char.mod("%d,", trace.is_write.astype(np.int64))
+        )
+        rows = np.char.add(rows, np.char.mod("%d", trace.pcs))
+        chunks.append("\n".join(rows.tolist()))
+    text = "\n".join(chunks) + "\n"
+    if str(path).endswith(".gz"):
+        with gzip.open(path, "wt", newline="") as handle:
+            handle.write(text)
+    else:
+        with open(path, "w", newline="") as handle:
+            handle.write(text)
 
 
 def _parse_int(row: dict, column: str, line_num: int, path) -> int:
@@ -81,13 +189,15 @@ def _parse_int(row: dict, column: str, line_num: int, path) -> int:
 def import_csv(
     path: PathLike,
     name: str = "imported",
-    instructions_per_core: int = 0,
+    instructions_per_core: Optional[int] = None,
 ) -> Workload:
-    """Load an interchange CSV into a workload.
+    """Load an interchange CSV (optionally gzipped) into a workload.
 
     Rows may arrive in any core order; within a core, request order is
     preserved. ``instructions_per_core`` defaults to a nominal value of
-    50 instructions per request (only MPKI reporting depends on it).
+    :data:`NOMINAL_INSTRUCTIONS_PER_REQUEST` (50) instructions per request
+    (only MPKI reporting depends on it); pass an explicit value — zero
+    included — to override the nominal accounting.
 
     Malformed rows fail fast with the offending line number instead of
     crashing deep inside the simulator: every field must parse (``gap`` as
@@ -97,38 +207,43 @@ def import_csv(
     int64) so an imported workload is indistinguishable from a built one.
     """
     per_core: dict = {}
-    with open(path, newline="") as handle:
-        reader = csv.DictReader(handle)
-        required = {"core", "gap", "address", "write", "pc"}
-        if reader.fieldnames is None or not required <= set(reader.fieldnames):
-            raise ValueError(f"CSV must have columns {sorted(required)}")
-        for row in reader:
-            line_num = reader.line_num
-            raw_gap = row.get("gap")
-            try:
-                gap = float(raw_gap)
-            except (TypeError, ValueError):
-                raise ValueError(
-                    f"{path} line {line_num}: gap={raw_gap!r} is not a number"
-                ) from None
-            if not gap >= 0.0:  # also rejects NaN
-                raise ValueError(
-                    f"{path} line {line_num}: gap={raw_gap!r} must be >= 0"
+    try:
+        with _open_text(path) as handle:
+            reader = csv.DictReader(handle)
+            required = {"core", "gap", "address", "write", "pc"}
+            if reader.fieldnames is None or not required <= set(reader.fieldnames):
+                raise ValueError(f"CSV must have columns {sorted(required)}")
+            for row in reader:
+                line_num = reader.line_num
+                raw_gap = row.get("gap")
+                try:
+                    gap = float(raw_gap)
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"{path} line {line_num}: gap={raw_gap!r} is not a number"
+                    ) from None
+                if not gap >= 0.0:  # also rejects NaN
+                    raise ValueError(
+                        f"{path} line {line_num}: gap={raw_gap!r} must be >= 0"
+                    )
+                address = _parse_int(row, "address", line_num, path)
+                if address < 0:
+                    raise ValueError(
+                        f"{path} line {line_num}: address={address} must be >= 0"
+                    )
+                record = (
+                    gap,
+                    address,
+                    bool(_parse_int(row, "write", line_num, path)),
+                    _parse_int(row, "pc", line_num, path),
                 )
-            address = _parse_int(row, "address", line_num, path)
-            if address < 0:
-                raise ValueError(
-                    f"{path} line {line_num}: address={address} must be >= 0"
-                )
-            record = (
-                gap,
-                address,
-                bool(_parse_int(row, "write", line_num, path)),
-                _parse_int(row, "pc", line_num, path),
-            )
-            per_core.setdefault(
-                _parse_int(row, "core", line_num, path), []
-            ).append(record)
+                per_core.setdefault(
+                    _parse_int(row, "core", line_num, path), []
+                ).append(record)
+    except (EOFError, gzip.BadGzipFile) as exc:
+        raise ValueError(
+            f"{path}: corrupt or truncated gzip stream ({exc})"
+        ) from None
 
     if not per_core:
         raise ValueError("trace CSV contains no requests")
@@ -140,7 +255,11 @@ def import_csv(
         addresses = np.array([r[1] for r in records], dtype=np.int64)
         is_write = np.array([r[2] for r in records], dtype=np.bool_)
         pcs = np.array([r[3] for r in records], dtype=np.int64)
-        instructions = instructions_per_core or len(records) * 50
+        instructions = (
+            instructions_per_core
+            if instructions_per_core is not None
+            else len(records) * NOMINAL_INSTRUCTIONS_PER_REQUEST
+        )
         cores.append(
             CoreTrace(
                 gaps=gaps,
@@ -151,3 +270,336 @@ def import_csv(
             )
         )
     return Workload(name=name, cores=cores)
+
+
+# ----------------------------------------------------------------------
+# DRAMSim2 k6 / mase streaming decoders
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _TraceDialect:
+    """Command vocabulary of one ``<address> <command> <cycle>`` format."""
+
+    name: str
+    reads: FrozenSet[bytes]
+    writes: FrozenSet[bytes]
+    #: Records silently dropped (k6 ``BOFF`` = bus-off markers).
+    ignored: FrozenSet[bytes]
+
+    @property
+    def read_list(self) -> np.ndarray:
+        return np.array(sorted(self.reads))
+
+    @property
+    def write_list(self) -> np.ndarray:
+        return np.array(sorted(self.writes))
+
+    @property
+    def ignore_list(self) -> np.ndarray:
+        return np.array(sorted(self.ignored) or [b"\x00"])
+
+    @property
+    def known(self) -> FrozenSet[bytes]:
+        return self.reads | self.writes | self.ignored
+
+
+_DIALECTS = {
+    "k6": _TraceDialect(
+        name="k6",
+        reads=frozenset((b"P_MEM_RD", b"P_FETCH", b"P_LOCK_RD")),
+        writes=frozenset((b"P_MEM_WR", b"P_LOCK_WR")),
+        ignored=frozenset((b"BOFF",)),
+    ),
+    "mase": _TraceDialect(
+        name="mase",
+        reads=frozenset((b"IFETCH", b"MEMRD")),
+        writes=frozenset((b"MEMWR",)),
+        ignored=frozenset(),
+    ),
+}
+
+
+def _iter_line_blocks(stream, chunk_bytes: int, path):
+    """Yield ``(first_line_number, [line_bytes, ...])`` per fixed block.
+
+    Reads ``chunk_bytes`` at a time and cuts at the last newline, carrying
+    the partial tail line into the next block — so every yielded line is
+    complete and line numbers stay exact across block boundaries. Gzip
+    corruption surfaces here (decompression happens on ``read``) and is
+    reported as a :class:`ValueError` naming the file.
+    """
+    remainder = b""
+    line_no = 1
+    while True:
+        try:
+            block = stream.read(chunk_bytes)
+        except (EOFError, OSError) as exc:
+            raise ValueError(
+                f"{path}: corrupt or truncated gzip stream ({exc})"
+            ) from None
+        if not block:
+            break
+        block = remainder + block
+        cut = block.rfind(b"\n")
+        if cut < 0:
+            remainder = block
+            continue
+        lines = block[:cut].split(b"\n")
+        remainder = block[cut + 1:]
+        yield line_no, lines
+        line_no += len(lines)
+    if remainder:
+        yield line_no, [remainder]
+
+
+def _reject_block(kept, line_numbers, path, dialect) -> None:
+    """Slow path: rescan a block that failed vectorized parsing and raise
+    a :class:`ValueError` naming the exact offending line."""
+    shape = "<hex-address> <command> <cycle>"
+    for line_no, raw in zip(line_numbers.tolist(), kept.tolist()):
+        parts = raw.split()
+        if len(parts) != 3:
+            raise ValueError(
+                f"{path} line {line_no}: expected '{shape}', got "
+                f"{raw.decode(errors='replace')!r}"
+            )
+        addr_raw, command, cycle_raw = parts
+        try:
+            address = int(addr_raw, 16)
+        except ValueError:
+            raise ValueError(
+                f"{path} line {line_no}: address="
+                f"{addr_raw.decode(errors='replace')!r} is not a hex address"
+            ) from None
+        if address < 0:
+            raise ValueError(
+                f"{path} line {line_no}: address={addr_raw.decode()!r} "
+                f"must be >= 0"
+            )
+        if command not in dialect.known:
+            known = ", ".join(
+                sorted(c.decode() for c in dialect.known)
+            )
+            raise ValueError(
+                f"{path} line {line_no}: unknown {dialect.name} command "
+                f"{command.decode(errors='replace')!r} (known: {known})"
+            )
+        try:
+            cycle = int(cycle_raw)
+        except ValueError:
+            raise ValueError(
+                f"{path} line {line_no}: cycle="
+                f"{cycle_raw.decode(errors='replace')!r} is not an integer"
+            ) from None
+        if cycle < 0:
+            raise ValueError(
+                f"{path} line {line_no}: cycle={cycle} must be >= 0"
+            )
+    raise ValueError(  # pragma: no cover - the rescan must find the fault
+        f"{path}: malformed {dialect.name} block near line "
+        f"{int(line_numbers[0])}"
+    )
+
+
+def _parse_block(lines, start_line: int, path, dialect):
+    """Vectorized parse of one block of raw trace lines.
+
+    Returns ``(byte_addresses, is_write, cycles, line_numbers)`` int64/bool
+    arrays with ignored records dropped, or ``None`` for all-blank blocks.
+    Any fault falls back to :func:`_reject_block` for an exact diagnostic.
+    """
+    arr = np.char.strip(np.array(lines, dtype=np.bytes_))
+    mask = arr != b""
+    if not mask.any():
+        return None
+    kept = arr[mask]
+    line_numbers = start_line + np.flatnonzero(mask)
+    try:
+        tokens = np.array(b" ".join(kept.tolist()).split(), dtype=np.bytes_)
+        if tokens.size != 3 * kept.size:
+            raise ValueError("field count")
+        columns = tokens.reshape(-1, 3)
+        commands = columns[:, 1]
+        is_read = np.isin(commands, dialect.read_list)
+        is_write = np.isin(commands, dialect.write_list)
+        ignored = np.isin(commands, dialect.ignore_list)
+        if not bool(np.all(is_read | is_write | ignored)):
+            raise ValueError("unknown command")
+        cycles = columns[:, 2].astype(np.int64)
+        addresses = np.array(
+            [int(tok, 16) for tok in columns[:, 0].tolist()], dtype=np.int64
+        )
+        if bool(np.any(cycles < 0)) or bool(np.any(addresses < 0)):
+            raise ValueError("negative field")
+    except (ValueError, OverflowError):
+        _reject_block(kept, line_numbers, path, dialect)
+        raise  # pragma: no cover - _reject_block always raises
+    keep = ~ignored
+    return addresses[keep], is_write[keep], cycles[keep], line_numbers[keep]
+
+
+def decode_trace(
+    path: PathLike,
+    format: Optional[str] = None,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    name: Optional[str] = None,
+) -> Workload:
+    """Decode an external trace file into a single-core workload.
+
+    ``format`` is one of :data:`TRACE_FORMATS`; None sniffs it from the
+    file name (:func:`sniff_format`). ``csv`` routes to
+    :func:`import_csv` (line addresses, multi-core). k6/mase streams are
+    single request streams, so the workload has exactly one core:
+    byte addresses become 64 B line addresses, absolute cycles become
+    per-request gap deltas (the first gap is the first record's cycle),
+    commands map to read/write, PCs are zero (external traces carry
+    none), and instructions use the nominal per-request accounting shared
+    with :func:`import_csv`. Decodes are chunked (``chunk_bytes``) and
+    bit-exact regardless of block size.
+    """
+    fmt = format or sniff_format(path)
+    if fmt not in TRACE_FORMATS:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; known: {', '.join(TRACE_FORMATS)}"
+        )
+    if fmt == "csv":
+        return import_csv(path, name=name or f"csv:{Path(path).name}")
+    dialect = _DIALECTS[fmt]
+    address_blocks: List[np.ndarray] = []
+    write_blocks: List[np.ndarray] = []
+    cycle_blocks: List[np.ndarray] = []
+    line_blocks: List[np.ndarray] = []
+    stream = _open_stream(path)
+    try:
+        for start_line, lines in _iter_line_blocks(stream, chunk_bytes, path):
+            parsed = _parse_block(lines, start_line, path, dialect)
+            if parsed is None:
+                continue
+            addresses, is_write, cycles, line_numbers = parsed
+            if len(addresses):
+                address_blocks.append(addresses)
+                write_blocks.append(is_write)
+                cycle_blocks.append(cycles)
+                line_blocks.append(line_numbers)
+    finally:
+        stream.close()
+    if not address_blocks:
+        raise ValueError(f"{path}: trace contains no requests")
+    addresses = np.concatenate(address_blocks)
+    is_write = np.concatenate(write_blocks)
+    cycles = np.concatenate(cycle_blocks)
+    line_numbers = np.concatenate(line_blocks)
+
+    backwards = np.flatnonzero(np.diff(cycles) < 0)
+    if backwards.size:
+        i = int(backwards[0]) + 1
+        raise ValueError(
+            f"{path} line {int(line_numbers[i])}: cycle {int(cycles[i])} "
+            f"goes backwards (previous record at cycle {int(cycles[i - 1])})"
+        )
+    trace = CoreTrace(
+        gaps=np.diff(cycles, prepend=0).astype(np.float64),
+        addresses=addresses >> LINE_SHIFT,
+        is_write=is_write,
+        pcs=np.zeros(len(addresses), dtype=np.int64),
+        instructions=len(addresses) * NOMINAL_INSTRUCTIONS_PER_REQUEST,
+    )
+    return Workload(
+        name=name or f"{fmt}:{Path(path).name}", cores=[trace]
+    )
+
+
+def sniff_format(path: PathLike) -> str:
+    """Infer a trace format from the file name.
+
+    DRAMSim2 convention: trace files are named with a ``k6``/``mase``
+    prefix; ``.csv``(.gz) selects the interchange format.
+    """
+    base = Path(path).name.lower()
+    if base.endswith(".gz"):
+        base = base[:-3]
+    if base.startswith("k6"):
+        return "k6"
+    if base.startswith("mase"):
+        return "mase"
+    if base.endswith(".csv"):
+        return "csv"
+    raise ValueError(
+        f"cannot infer trace format from {str(path)!r}: name the file with "
+        f"a k6/mase prefix or a .csv extension, or pass an explicit format"
+    )
+
+
+# ----------------------------------------------------------------------
+# Trace specs: content-keyed workload names for external files
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parsed form of a ``trace:<format>:<digest16>:<path>`` name."""
+
+    format: str
+    digest: str
+    path: str
+
+
+def is_trace_spec(name: str) -> bool:
+    """Whether a workload name is a trace spec."""
+    return name.startswith(TRACE_SPEC_PREFIX)
+
+
+def trace_workload_spec(path: PathLike, format: Optional[str] = None) -> str:
+    """The canonical workload name for an external trace file.
+
+    ``trace:<format>:<digest16>:<path>`` — the digest prefix covers the
+    file's raw bytes, so sweep-cell and trace-arena content keys derived
+    from the spec are stable for identical content and distinct the moment
+    the file changes.
+    """
+    fmt = format or sniff_format(path)
+    if fmt not in TRACE_FORMATS:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; known: {', '.join(TRACE_FORMATS)}"
+        )
+    return (
+        f"{TRACE_SPEC_PREFIX}{fmt}:{file_digest(path)[:16]}:{os.fspath(path)}"
+    )
+
+
+def parse_trace_spec(spec: str) -> TraceSpec:
+    """Split and validate a trace-spec workload name."""
+    if not is_trace_spec(spec):
+        raise ValueError(f"not a trace spec: {spec!r}")
+    parts = spec.split(":", 3)
+    if len(parts) != 4 or not parts[3]:
+        raise ValueError(
+            f"malformed trace spec {spec!r}; expected "
+            f"'trace:<format>:<digest>:<path>'"
+        )
+    _, fmt, digest, path = parts
+    if fmt not in TRACE_FORMATS:
+        raise ValueError(
+            f"trace spec {spec!r} names unknown format {fmt!r}; "
+            f"known: {', '.join(TRACE_FORMATS)}"
+        )
+    return TraceSpec(format=fmt, digest=digest, path=path)
+
+
+def workload_from_spec(
+    spec: str, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+) -> Workload:
+    """Decode the file named by a trace spec, verifying its content digest.
+
+    A digest mismatch means the file changed after the sweep was keyed —
+    silently decoding it would poison content-addressed caches, so it is
+    an error; re-run with a freshly built spec instead.
+    """
+    parsed = parse_trace_spec(spec)
+    actual = file_digest(parsed.path)[: len(parsed.digest)]
+    if parsed.digest and actual != parsed.digest:
+        raise ValueError(
+            f"{parsed.path}: content digest {actual} does not match the "
+            f"spec's {parsed.digest}; the file changed since this workload "
+            f"was keyed — rebuild the spec with trace_workload_spec()"
+        )
+    return decode_trace(
+        parsed.path, format=parsed.format, chunk_bytes=chunk_bytes
+    )

@@ -67,3 +67,53 @@ class TestExamples:
         module.demonstrate_map_i()
         out = capsys.readouterr().out
         assert "96 bytes/core" in out
+
+
+class TestSweepTraceAndMixes:
+    def _write_k6(self, tmp_path):
+        path = tmp_path / "k6_cli.trc"
+        rows = [f"0x{(i % 11) * 64:x} P_MEM_RD {i * 7}" for i in range(1, 120)]
+        path.write_text("\n".join(rows) + "\n")
+        return path
+
+    def test_trace_sweep_and_cached_rerun(self, tmp_path, capsys):
+        path = self._write_k6(tmp_path)
+        args = ["sweep", "--trace", str(path), "--designs", "alloy",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "trace:k6:" in out
+        # Rerun: both cells (design + baseline) from the result cache.
+        assert main([*args, "--expect-cache-hits", "2"]) == 0
+
+    def test_trace_decoded_once_per_run(self, tmp_path, capsys):
+        path = self._write_k6(tmp_path)
+        assert main([
+            "sweep", "--trace", str(path), "--designs", "alloy",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        out = capsys.readouterr().out
+        # The CLI decode is adopted into the arena: the sweep itself must
+        # not re-run any workload build.
+        assert "0 generator runs" in out
+
+    def test_bad_trace_file_fails_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "k6_bad.trc"
+        path.write_text("0x1000 P_MEM_RD 5\nnot a record\n")
+        code = main(["sweep", "--trace", str(path), "--designs", "alloy",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 2
+        assert "line 2" in capsys.readouterr().err
+
+    def test_mix_sweep(self, tmp_path, capsys):
+        assert main([
+            "sweep", "--benchmarks", "mix1", "--designs", "alloy",
+            "--reads", "300", "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        assert "mix1" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected(self, tmp_path, capsys):
+        code = main(["sweep", "--benchmarks", "mix99", "--designs", "alloy",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 2
+        assert "mix1" in capsys.readouterr().err

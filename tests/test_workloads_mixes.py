@@ -1,0 +1,181 @@
+"""Tests for heterogeneous mixes: catalog integrity, determinism, and
+first-class behavior through arena / sweep / jobs layers."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.workloads.arena import WorkloadParams, get_workload_arena
+from repro.workloads.mixes import (
+    MIXES,
+    generate_mix_workload,
+    get_mix,
+    is_mix,
+)
+from repro.workloads.spec import (
+    ALL_BENCHMARKS,
+    generate_workload,
+    resolve_workload,
+)
+
+
+class TestMixCatalog:
+    def test_seven_mixes(self):
+        assert sorted(MIXES) == [f"mix{i}" for i in range(1, 8)]
+
+    def test_members_are_distinct_catalog_benchmarks(self):
+        for name, spec in MIXES.items():
+            assert len(spec.benchmarks) == 8, name
+            assert len(set(spec.benchmarks)) == 8, name
+            for member in spec.benchmarks:
+                assert member in ALL_BENCHMARKS, (name, member)
+
+    def test_nominal_mpki_strictly_increasing(self):
+        mpkis = [MIXES[f"mix{i}"].nominal_mpki for i in range(1, 8)]
+        assert all(a < b for a, b in zip(mpkis, mpkis[1:])), mpkis
+
+    def test_lookup(self):
+        assert is_mix("mix4")
+        assert not is_mix("mcf_r")
+        assert get_mix("mix4").name == "mix4"
+        with pytest.raises(KeyError, match="unknown mix"):
+            get_mix("mix99")
+
+    def test_benchmark_for_core_cycles(self):
+        spec = get_mix("mix1")
+        assert spec.benchmark_for_core(0) == spec.benchmarks[0]
+        assert spec.benchmark_for_core(9) == spec.benchmarks[1]
+
+    def test_resolve_workload_accepts_mixes(self):
+        assert resolve_workload("mix2") == "mix2"
+        with pytest.raises(KeyError, match="mixes"):
+            resolve_workload("mix99")
+
+
+class TestMixGeneration:
+    def test_cores_run_different_benchmarks(self):
+        # Each core's trace must equal the rate-mode trace of its assigned
+        # benchmark at the same seed/stride — and those differ per core.
+        mix = generate_mix_workload("mix7", num_cores=3, reads_per_core=400)
+        spec = get_mix("mix7")
+        for core_id in range(3):
+            rate = generate_workload(
+                spec.benchmark_for_core(core_id),
+                num_cores=core_id + 1,
+                reads_per_core=400,
+            )
+            assert np.array_equal(
+                mix.cores[core_id].addresses, rate.cores[core_id].addresses
+            ), core_id
+        assert not np.array_equal(
+            mix.cores[0].addresses[:100], mix.cores[1].addresses[:100]
+        )
+
+    def test_deterministic(self):
+        a = generate_mix_workload("mix3", num_cores=2, reads_per_core=300)
+        b = generate_mix_workload("mix3", num_cores=2, reads_per_core=300)
+        for x, y in zip(a.cores, b.cores):
+            assert np.array_equal(x.addresses, y.addresses)
+            assert np.array_equal(x.gaps, y.gaps)
+            assert np.array_equal(x.is_write, y.is_write)
+
+    def test_seed_changes_content(self):
+        a = generate_mix_workload("mix3", num_cores=2, reads_per_core=300, seed=1)
+        b = generate_mix_workload("mix3", num_cores=2, reads_per_core=300, seed=2)
+        assert not np.array_equal(a.cores[0].addresses, b.cores[0].addresses)
+
+
+class TestMixArena:
+    def test_arena_builds_and_persists_mixes(self, tmp_path):
+        arena = get_workload_arena(tmp_path)
+        params = WorkloadParams(
+            benchmark="mix2", num_cores=2, reads_per_core=250
+        )
+        built, tele = arena.fetch(params)
+        assert tele["trace_source"] == "built"
+        again, tele = arena.fetch(params)
+        assert tele["trace_source"] == "memo"
+        assert again is built
+        # A fresh arena over the same directory loads the persisted npz.
+        from repro.workloads.arena import WorkloadArena
+
+        cold = WorkloadArena(directory=tmp_path)
+        loaded, tele = cold.fetch(params)
+        assert tele["trace_source"] == "npz"
+        for a, b in zip(loaded.cores, built.cores):
+            assert np.array_equal(a.addresses, b.addresses)
+            assert np.array_equal(a.gaps, b.gaps)
+
+    def test_mix_key_distinct_from_benchmark_key(self):
+        mix = WorkloadParams(benchmark="mix1", num_cores=2, reads_per_core=100)
+        bench = WorkloadParams(
+            benchmark="mcf_r", num_cores=2, reads_per_core=100
+        )
+        assert mix.key() != bench.key()
+
+    def test_mix_revision_in_key(self, monkeypatch):
+        params = WorkloadParams(benchmark="mix1", num_cores=2, reads_per_core=100)
+        before = params.key()
+        import repro.workloads.mixes as mixes
+
+        monkeypatch.setattr(mixes, "MIX_REVISION", mixes.MIX_REVISION + 1)
+        assert params.key() != before
+
+
+class TestMixSweeps:
+    def _cells(self):
+        from repro.sim.parallel import make_cells
+
+        return make_cells(
+            ("no-cache", "alloy-map-i"), ("mix1",), reads_per_core=400
+        )
+
+    def test_serial_vs_parallel_bit_identical(self):
+        from repro.sim.parallel import run_sweep
+
+        serial = run_sweep(self._cells(), max_workers=1, use_cache=False)
+        parallel = run_sweep(self._cells(), max_workers=2, use_cache=False)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert dataclasses.asdict(a.result) == dataclasses.asdict(
+                b.result
+            ), (a.cell.design, a.cell.benchmark)
+        assert parallel.workloads_unique == 1
+
+    def test_second_sweep_all_cache_hits(self, tmp_path):
+        from repro.sim.parallel import ResultCache, run_sweep
+
+        cache = ResultCache(tmp_path, persist=True)
+        first = run_sweep(self._cells(), cache=cache, use_cache=True)
+        assert first.cache_hits == 0
+        second = run_sweep(self._cells(), cache=cache, use_cache=True)
+        assert second.cache_hits == len(self._cells())
+
+    def test_mix_cells_journal_through_jobs(self, tmp_path):
+        from repro.jobs import create_job, open_job, submit_job
+
+        cells = self._cells()
+        job = create_job("mix-job", cells, cache_dir=tmp_path)
+        report = submit_job(job, use_cache=False)
+        assert len(report.cells) == len(cells)
+        reopened = open_job("mix-job", cache_dir=tmp_path)
+        assert reopened.completed_cells() == len(cells)
+        replay = submit_job(reopened, use_cache=False)
+        for a, b in zip(report.cells, replay.cells):
+            assert dataclasses.asdict(a.result) == dataclasses.asdict(b.result)
+
+    def test_explore_space_accepts_mix_axis(self):
+        from repro.explore.space import ExploreSpace
+
+        space = ExploreSpace(
+            designs=("alloy-map-i",),
+            benchmarks=("mix1", "sphinx"),
+            page_policies=("open",),
+            line_bursts=(4,),
+            cache_mbs=(128,),
+            timings=("paper",),
+        )
+        # Canonicalized: suffix-less names resolve, mixes pass through.
+        assert space.benchmarks == ("mix1", "sphinx_r")
+        with pytest.raises(KeyError):
+            ExploreSpace(benchmarks=("mix99",))

@@ -104,3 +104,42 @@ class TestBuildWorkload:
         w = build_workload("mcf_r", num_cores=2, reads_per_core=2000)
         spec = PRIMARY_BENCHMARKS["mcf_r"]
         assert w.mpki == pytest.approx(spec.paper_mpki, rel=0.05)
+
+
+class TestResolveWorkload:
+    def test_benchmark_names_canonicalized(self):
+        from repro.workloads.spec import resolve_workload
+
+        assert resolve_workload("gcc") == "gcc_r"
+        assert resolve_workload("gcc_r") == "gcc_r"
+
+    def test_mixes_pass_through(self):
+        from repro.workloads.spec import resolve_workload
+
+        assert resolve_workload("mix6") == "mix6"
+
+    def test_trace_specs_validated_and_passed_through(self, tmp_path):
+        from repro.workloads.spec import resolve_workload
+        from repro.workloads.tracefile import trace_workload_spec
+
+        path = tmp_path / "k6_rw.trc"
+        path.write_text("0x1000 P_MEM_RD 5\n")
+        spec = trace_workload_spec(path)
+        assert resolve_workload(spec) == spec
+        with pytest.raises(ValueError, match="malformed trace spec"):
+            resolve_workload("trace:k6:abcd:")
+
+    def test_unknown_name_lists_all_kinds(self):
+        from repro.workloads.spec import resolve_workload
+
+        with pytest.raises(KeyError) as err:
+            resolve_workload("quake3")
+        message = err.value.args[0]
+        assert "mix1" in message and "mcf_r" in message and "trace:" in message
+
+    def test_build_workload_builds_mixes(self):
+        from repro.workloads.spec import build_workload
+
+        w = build_workload("mix1", num_cores=2, reads_per_core=150)
+        assert w.name == "mix1"
+        assert w.num_cores == 2

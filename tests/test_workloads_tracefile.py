@@ -1,13 +1,24 @@
-"""Tests for trace file I/O (npz round-trip and CSV interchange)."""
+"""Tests for trace file I/O: npz round-trip, CSV interchange, and the
+streaming DRAMSim2 k6/mase decoders with their trace-spec workload names."""
+
+import gzip
 
 import numpy as np
 import pytest
 
 from repro.workloads.tracefile import (
+    NOMINAL_INSTRUCTIONS_PER_REQUEST,
+    decode_trace,
     export_csv,
+    file_digest,
     import_csv,
+    is_trace_spec,
     load_workload,
+    parse_trace_spec,
     save_workload,
+    sniff_format,
+    trace_workload_spec,
+    workload_from_spec,
 )
 from repro.workloads.trace import CoreTrace, Workload
 
@@ -197,3 +208,292 @@ class TestCsvInterchange:
         result = run_design("alloy-map-i", workload, config)
         assert result.cycles > 0
         assert result.read_hit_rate > 0.5  # 5-line loop fits trivially
+
+    def test_nominal_default_mpki(self, tmp_path):
+        # 50 instructions/request and an all-read stream means MPKI 20.
+        path = tmp_path / "mpki.csv"
+        path.write_text(
+            "core,gap,address,write,pc\n"
+            + "".join(f"0,1.0,{i},0,4\n" for i in range(40))
+        )
+        workload = import_csv(path)
+        assert NOMINAL_INSTRUCTIONS_PER_REQUEST == 50
+        assert workload.cores[0].instructions == 40 * 50
+        assert workload.mpki == pytest.approx(20.0)
+
+    def test_explicit_zero_instructions_honored(self, tmp_path):
+        # The old signature defaulted to 0 and coerced explicit 0 back to
+        # nominal via `or`; an explicit 0 must now survive.
+        path = tmp_path / "zero.csv"
+        path.write_text("core,gap,address,write,pc\n0,1.0,100,0,4\n")
+        assert import_csv(path, instructions_per_core=0).cores[0].instructions == 0
+
+    def test_gzip_roundtrip_preserves_dtypes_and_values(self, workload, tmp_path):
+        path = tmp_path / "w.csv.gz"
+        export_csv(workload, path)
+        with gzip.open(path, "rb") as handle:  # really gzipped
+            assert handle.readline() == b"core,gap,address,write,pc\n"
+        loaded = import_csv(path, name="roundtrip")
+        for a, b in zip(loaded.cores, workload.cores):
+            # %.17g formatting makes the float64 gaps round-trip exactly.
+            assert np.array_equal(a.gaps, b.gaps)
+            assert np.array_equal(a.addresses, b.addresses)
+            assert np.array_equal(a.is_write, b.is_write)
+            assert np.array_equal(a.pcs, b.pcs)
+            assert a.gaps.dtype == np.float64
+            assert a.is_write.dtype == np.bool_
+
+    def test_plain_and_gzip_export_identical_content(self, workload, tmp_path):
+        plain = tmp_path / "w.csv"
+        packed = tmp_path / "w.csv.gz"
+        export_csv(workload, plain)
+        export_csv(workload, packed)
+        with gzip.open(packed, "rb") as handle:
+            assert handle.read() == plain.read_bytes()
+
+    def test_corrupt_gzip_rejected(self, tmp_path):
+        path = tmp_path / "w.csv.gz"
+        buf = gzip.compress(
+            b"core,gap,address,write,pc\n" + b"0,1.0,100,0,4\n" * 200
+        )
+        path.write_bytes(buf[: len(buf) // 2])
+        with pytest.raises(ValueError, match="corrupt or truncated gzip"):
+            import_csv(path)
+
+
+# ----------------------------------------------------------------------
+# DRAMSim2 k6/mase streaming decode
+# ----------------------------------------------------------------------
+def _write_k6(path, rows):
+    with open(path, "w") as handle:
+        for addr, cmd, cycle in rows:
+            handle.write(f"0x{addr:x} {cmd} {cycle}\n")
+
+
+@pytest.fixture
+def k6_rows():
+    rng = np.random.default_rng(3)
+    rows, cycle = [], 0
+    for _ in range(300):
+        cycle += int(rng.integers(1, 60))
+        cmd = "P_MEM_WR" if rng.random() < 0.3 else "P_MEM_RD"
+        rows.append((int(rng.integers(0, 1 << 30)) << 6, cmd, cycle))
+    return rows
+
+
+class TestTraceDecode:
+    def test_k6_command_mapping_and_normalization(self, tmp_path):
+        path = tmp_path / "k6_small.trc"
+        _write_k6(
+            path,
+            [
+                (0x1000, "P_MEM_RD", 10),
+                (0x2040, "P_MEM_WR", 25),
+                (0x3080, "P_FETCH", 40),
+                (0x4000, "P_LOCK_RD", 41),
+                (0x5000, "P_LOCK_WR", 90),
+            ],
+        )
+        workload = decode_trace(path)
+        assert workload.num_cores == 1
+        trace = workload.cores[0]
+        assert trace.addresses.tolist() == [
+            0x1000 >> 6, 0x2040 >> 6, 0x3080 >> 6, 0x4000 >> 6, 0x5000 >> 6
+        ]
+        assert trace.is_write.tolist() == [False, True, False, False, True]
+        # Gaps are cycle deltas; the first gap is the first record's cycle.
+        assert trace.gaps.tolist() == [10.0, 15.0, 15.0, 1.0, 49.0]
+        assert trace.gaps.dtype == np.float64
+        assert trace.addresses.dtype == np.int64
+        assert not trace.pcs.any()
+        assert trace.instructions == 5 * NOMINAL_INSTRUCTIONS_PER_REQUEST
+
+    def test_boff_records_skipped(self, tmp_path):
+        path = tmp_path / "k6_boff.trc"
+        _write_k6(
+            path,
+            [(0x1000, "P_MEM_RD", 5), (0xFFFF, "BOFF", 7), (0x2000, "P_MEM_RD", 9)],
+        )
+        trace = decode_trace(path).cores[0]
+        assert len(trace) == 2
+        assert trace.gaps.tolist() == [5.0, 4.0]
+
+    def test_mase_command_mapping(self, tmp_path):
+        path = tmp_path / "mase_small.trc"
+        _write_k6(
+            path,
+            [(0x1000, "MEMRD", 1), (0x2000, "IFETCH", 2), (0x3000, "MEMWR", 3)],
+        )
+        trace = decode_trace(path).cores[0]
+        assert trace.is_write.tolist() == [False, False, True]
+
+    def test_blank_lines_and_whitespace_tolerated(self, tmp_path):
+        path = tmp_path / "k6_ws.trc"
+        path.write_text("\n  0x1000 P_MEM_RD 5  \n\n0x2000 P_MEM_WR 9\n\n")
+        trace = decode_trace(path).cores[0]
+        assert len(trace) == 2
+
+    def test_chunked_decode_bit_exact(self, tmp_path, k6_rows):
+        path = tmp_path / "k6_big.trc"
+        _write_k6(path, k6_rows)
+        whole = decode_trace(path, chunk_bytes=1 << 30).cores[0]
+        assert path.stat().st_size > 64  # chunking genuinely kicks in
+        for chunk_bytes in (64, 257, 4096):
+            chunked = decode_trace(path, chunk_bytes=chunk_bytes).cores[0]
+            assert np.array_equal(chunked.gaps, whole.gaps)
+            assert np.array_equal(chunked.addresses, whole.addresses)
+            assert np.array_equal(chunked.is_write, whole.is_write)
+            assert chunked.instructions == whole.instructions
+
+    def test_gzip_decode_matches_plain(self, tmp_path, k6_rows):
+        plain = tmp_path / "k6_plain.trc"
+        _write_k6(plain, k6_rows)
+        # Suffix deliberately unhelpful: detection is by magic bytes.
+        packed = tmp_path / "k6_packed.trc"
+        packed.write_bytes(gzip.compress(plain.read_bytes()))
+        a = decode_trace(plain, chunk_bytes=128).cores[0]
+        b = decode_trace(packed, chunk_bytes=128).cores[0]
+        assert np.array_equal(a.gaps, b.gaps)
+        assert np.array_equal(a.addresses, b.addresses)
+        assert np.array_equal(a.is_write, b.is_write)
+
+    def test_missing_trailing_newline_ok(self, tmp_path):
+        path = tmp_path / "k6_nonl.trc"
+        path.write_text("0x1000 P_MEM_RD 5\n0x2000 P_MEM_RD 9")
+        assert len(decode_trace(path).cores[0]) == 2
+
+    @pytest.mark.parametrize(
+        "line,match",
+        [
+            ("0x1000 P_MEM_RD", r"line 2: expected"),
+            ("0x1000 P_MEM_RD 5 extra", r"line 2: expected"),
+            ("zzz P_MEM_RD 5", r"line 2: address='zzz' is not a hex"),
+            ("0x1000 NOPE 5", r"line 2: unknown k6 command 'NOPE'"),
+            ("0x1000 MEMRD 5", r"line 2: unknown k6 command 'MEMRD'"),
+            ("0x1000 P_MEM_RD 5.5", r"line 2: cycle='5.5' is not an integer"),
+            ("0x1000 P_MEM_RD -5", r"line 2: cycle=-5 must be >= 0"),
+        ],
+    )
+    def test_malformed_lines_rejected_with_line_number(self, tmp_path, line, match):
+        path = tmp_path / "k6_bad.trc"
+        path.write_text("0x1000 P_MEM_RD 1\n" + line + "\n")
+        with pytest.raises(ValueError, match=match):
+            decode_trace(path)
+
+    def test_error_line_number_exact_in_later_chunk(self, tmp_path):
+        # The fault sits far past the first block: the block-local rescan
+        # must still name the absolute line.
+        lines = [f"0x{i * 64:x} P_MEM_RD {i}" for i in range(1, 200)]
+        lines.insert(150, "0x1000 BROKEN 999999")
+        path = tmp_path / "k6_deep.trc"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 151: unknown k6 command"):
+            decode_trace(path, chunk_bytes=256)
+
+    def test_nonmonotonic_cycles_rejected(self, tmp_path):
+        path = tmp_path / "k6_back.trc"
+        _write_k6(path, [(0x1000, "P_MEM_RD", 50), (0x2000, "P_MEM_RD", 49)])
+        with pytest.raises(ValueError, match="line 2: cycle 49 goes backwards"):
+            decode_trace(path)
+
+    def test_nonmonotonic_across_chunks_rejected(self, tmp_path):
+        rows = [(i * 64, "P_MEM_RD", i) for i in range(1, 100)]
+        rows.append((0x100, "P_MEM_RD", 3))
+        path = tmp_path / "k6_back2.trc"
+        _write_k6(path, rows)
+        with pytest.raises(ValueError, match="line 100: cycle 3 goes backwards"):
+            decode_trace(path, chunk_bytes=128)
+
+    def test_corrupt_gzip_rejected(self, tmp_path):
+        path = tmp_path / "k6_corrupt.trc"
+        buf = gzip.compress(b"0x1000 P_MEM_RD 5\n" * 500)
+        path.write_bytes(buf[: len(buf) // 2])
+        with pytest.raises(ValueError, match="corrupt or truncated gzip"):
+            decode_trace(path, format="k6")
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "k6_empty.trc"
+        path.write_text("\n\n")
+        with pytest.raises(ValueError, match="no requests"):
+            decode_trace(path)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "k6_x.trc"
+        path.write_text("0x1000 P_MEM_RD 5\n")
+        with pytest.raises(ValueError, match="unknown trace format"):
+            decode_trace(path, format="pin")
+
+    def test_decoded_workload_simulates(self, tmp_path):
+        from repro.sim.config import SystemConfig
+        from repro.sim.runner import run_design
+        from repro.units import MB
+
+        path = tmp_path / "k6_sim.trc"
+        _write_k6(
+            path,
+            [((i % 7) * 64, "P_MEM_RD", i * 10) for i in range(1, 60)],
+        )
+        workload = decode_trace(path)
+        config = SystemConfig(
+            num_cores=1, cache_size_bytes=256 * MB, capacity_scale=4096
+        )
+        result = run_design("alloy-map-i", workload, config)
+        assert result.cycles > 0
+        assert result.read_hit_rate > 0.5
+
+
+class TestSniffFormat:
+    def test_prefixes_and_extensions(self, tmp_path):
+        assert sniff_format("k6_vortex.trc") == "k6"
+        assert sniff_format("K6_vortex.trc.gz") == "k6"
+        assert sniff_format("mase_art.trc") == "mase"
+        assert sniff_format(tmp_path / "mase_art.trc.gz") == "mase"
+        assert sniff_format("requests.csv") == "csv"
+        assert sniff_format("requests.csv.gz") == "csv"
+
+    def test_unsniffable_name_rejected(self):
+        with pytest.raises(ValueError, match="cannot infer trace format"):
+            sniff_format("mystery.trc")
+
+
+class TestTraceSpecs:
+    def test_roundtrip(self, tmp_path, k6_rows):
+        path = tmp_path / "k6_spec.trc"
+        _write_k6(path, k6_rows)
+        spec = trace_workload_spec(path)
+        assert is_trace_spec(spec)
+        parsed = parse_trace_spec(spec)
+        assert parsed.format == "k6"
+        assert parsed.path == str(path)
+        assert parsed.digest == file_digest(path)[:16]
+        direct = decode_trace(path).cores[0]
+        via_spec = workload_from_spec(spec).cores[0]
+        assert np.array_equal(direct.addresses, via_spec.addresses)
+        assert np.array_equal(direct.gaps, via_spec.gaps)
+
+    def test_content_change_changes_spec(self, tmp_path):
+        path = tmp_path / "k6_a.trc"
+        path.write_text("0x1000 P_MEM_RD 5\n")
+        first = trace_workload_spec(path)
+        path.write_text("0x1000 P_MEM_RD 6\n")
+        assert trace_workload_spec(path) != first
+
+    def test_digest_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "k6_b.trc"
+        path.write_text("0x1000 P_MEM_RD 5\n")
+        spec = trace_workload_spec(path)
+        path.write_text("0x1000 P_MEM_RD 6\n")
+        with pytest.raises(ValueError, match="digest"):
+            workload_from_spec(spec)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["trace:k6", "trace:k6:abcd:", "trace:pin:abcd:/tmp/x", "trace:"],
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_trace_spec(spec)
+
+    def test_non_spec_names(self):
+        assert not is_trace_spec("mcf_r")
+        assert not is_trace_spec("mix3")
