@@ -408,6 +408,14 @@ def build_bench_parser() -> argparse.ArgumentParser:
         help="time only the quick subset of the pinned grid (CI smoke)",
     )
     parser.add_argument(
+        "--envelope",
+        action="store_true",
+        help=(
+            "time only the pinned envelope cells (multi-way Alloy, victim "
+            "buffer, mshrs=4) that gate the batch engine's newer kernels"
+        ),
+    )
+    parser.add_argument(
         "--designs",
         default=None,
         help="comma-separated design names overriding the pinned grid",
@@ -474,11 +482,12 @@ def build_bench_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        choices=("interp", "batch"),
+        choices=("interp", "batch", "auto"),
         default="",
         help=(
             "simulation engine to time (default: the SystemConfig default, "
-            "i.e. the interpreter unless REPRO_ENGINE overrides it)"
+            "i.e. the interpreter unless REPRO_ENGINE overrides it; "
+            "'auto' picks batch whenever the cell is inside its envelope)"
         ),
     )
     parser.add_argument(
@@ -568,12 +577,26 @@ def _bench_main(argv: List[str]) -> int:
     repeats = args.repeats
     if repeats is None:
         repeats = 2 if args.quick else perf_bench.DEFAULT_REPEATS
-    cells = perf_bench.make_bench_grid(
-        designs,
-        benchmarks,
-        reads_per_core=args.reads or perf_bench.DEFAULT_READS,
-        engine=args.engine,
-    )
+    if args.envelope:
+        cells = perf_bench.envelope_bench_cells(
+            reads_per_core=args.reads or perf_bench.DEFAULT_READS,
+            engine=args.engine,
+        )
+    else:
+        cells = perf_bench.make_bench_grid(
+            designs,
+            benchmarks,
+            reads_per_core=args.reads or perf_bench.DEFAULT_READS,
+            engine=args.engine,
+        )
+        if not (args.quick or args.designs or args.benchmarks):
+            # The pinned default grid also times the envelope cells
+            # (multi-way Alloy, victim buffer, mshrs=4) so the committed
+            # baseline gates every kernel family.
+            cells += perf_bench.envelope_bench_cells(
+                reads_per_core=args.reads or perf_bench.DEFAULT_READS,
+                engine=args.engine,
+            )
 
     def progress(timing):
         print(

@@ -6,7 +6,9 @@ geometry from :mod:`repro.core.tad`.
 
 The default configuration is direct-mapped — the paper's central
 de-optimization. ``ways=2`` gives the Section 6.7 two-way variant, which
-streams two TADs per access and selects victims with LRU.
+streams two TADs per access and selects victims with LRU; wider ways
+(any divisor of the 28 TADs per row) extend the same scheme for the
+associativity sweep.
 """
 
 from __future__ import annotations

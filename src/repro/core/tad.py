@@ -48,16 +48,20 @@ class TadTransfer:
 class AlloyGeometry:
     """Maps Alloy-Cache sets onto stacked-DRAM rows.
 
-    ``ways`` > 1 models the two-way variant of Section 6.7 where each access
-    streams two adjacent TADs; capacity per row is unchanged (28 TADs) but a
-    set then spans ``ways`` TAD slots.
+    ``ways`` > 1 models the set-associative variants (Section 6.7's two-way
+    and the wider associativity sweep) where each access streams ``ways``
+    adjacent TADs; capacity per row is unchanged (28 TADs) but a set then
+    spans ``ways`` TAD slots, so ``ways`` must divide 28.
     """
 
     def __init__(self, capacity_bytes: int, ways: int = 1) -> None:
         if capacity_bytes % ROW_BUFFER_SIZE:
             raise ValueError("capacity must be a whole number of 2 KB rows")
-        if ways not in (1, 2):
-            raise ValueError("the Alloy Cache supports 1 or 2 ways")
+        if ways < 1 or TADS_PER_ROW % ways:
+            raise ValueError(
+                f"Alloy ways must divide the {TADS_PER_ROW} TADs per row "
+                f"(got {ways})"
+            )
         self.capacity_bytes = capacity_bytes
         self.ways = ways
         self.num_rows = capacity_bytes // ROW_BUFFER_SIZE

@@ -10,7 +10,8 @@ check confirms the line is not dirty in the cache, so the completion time is
 
 Variants:
 * ``burst_beats=8`` — Section 6.5's power-of-two burst restriction (128 B).
-* ``ways=2`` — Section 6.7's two-way Alloy (streams two TADs, ~2x burst).
+* ``ways=2`` — Section 6.7's two-way Alloy (streams two TADs, ~2x burst);
+  wider ways (any divisor of 28) scale the same streamed-TAD scheme.
 * ``predictor`` — any of :mod:`repro.core.predictors`, the MissMap
   (Figure 6's Alloy+MissMap), or ``None`` for no prediction (pure SAM with
   zero predictor latency).

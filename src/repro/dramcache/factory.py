@@ -21,6 +21,7 @@ Name                        Configuration
 ``alloy-perfect``           Alloy Cache + perfect predictor (Figure 8)
 ``alloy-burst8``            Alloy + MAP-I, 8-beat bursts (Section 6.5)
 ``alloy-2way``              Two-way Alloy + MAP-I (Section 6.7)
+``alloy-4way``              Four-way Alloy + MAP-I (associativity sweep)
 ``alloy-victim16/64``       Alloy + MAP-I + SRAM victim buffer (extension)
 ``ideal-lo``                IDEAL-LO bound (Section 2.3)
 ``ideal-lo-notag``          IDEAL-LO with zero tag overhead (Table 7)
@@ -82,6 +83,7 @@ _BUILDERS: Dict[str, _Builder] = {
     "alloy-perfect": _alloy_with("perfect"),
     "alloy-burst8": _alloy_with("map-i", burst_beats=8),
     "alloy-2way": _alloy_with("map-i", ways=2),
+    "alloy-4way": _alloy_with("map-i", ways=4),
     "alloy-victim16": lambda c, s, m, sch: AlloyVictimDesign(
         c, s, m, sch, predictor=make_predictor("map-i", c.num_cores),
         victim_entries=16,

@@ -146,6 +146,11 @@ class RoundSummary:
     frontier: int
     cache_hits: int
     elapsed_seconds: float
+    #: Engine -> cells it produced this round ("unknown" for cache entries
+    #: persisted before engines were recorded). With engine=auto the whole
+    #: default space should land on "batch" — interpreter entries here mean
+    #: a config fell outside the batch envelope.
+    engine_counts: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         return {
@@ -156,6 +161,7 @@ class RoundSummary:
             "frontier": self.frontier,
             "cache_hits": self.cache_hits,
             "elapsed_seconds": self.elapsed_seconds,
+            "engine_counts": dict(self.engine_counts),
         }
 
 
@@ -176,6 +182,15 @@ class ExploreReport:
     #: Last metrics of every point killed along the way (halving only).
     killed: List[PointMetrics] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+
+    @property
+    def engine_counts(self) -> Dict[str, int]:
+        """Engine -> cells across all rounds (see RoundSummary)."""
+        total: Dict[str, int] = {}
+        for r in self.rounds:
+            for engine, n in r.engine_counts.items():
+                total[engine] = total.get(engine, 0) + n
+        return total
 
     def to_payload(self) -> Dict:
         return {
@@ -221,6 +236,12 @@ class ExploreReport:
                 f"  {m.point.label:<44} {m.latency:>8.1f} "
                 f"{m.hit_rate:>6.3f} {m.bandwidth:>6.3f} "
                 f"{m.ed2 / best_ed2 if best_ed2 else 0.0:>9.3f}"
+            )
+        counts = self.engine_counts
+        if counts:
+            lines.append(
+                "-- engines: "
+                + ", ".join(f"{k} {counts[k]}" for k in sorted(counts))
             )
         lines.append(f"-- {self.elapsed_seconds:.1f}s elapsed")
         return "\n".join(lines)
@@ -327,6 +348,7 @@ def _round_summary(
         frontier=len(pareto_front(metrics)),
         cache_hits=sum(1 for c in report.cells if c.from_cache),
         elapsed_seconds=elapsed,
+        engine_counts=report.engine_counts,
     )
 
 

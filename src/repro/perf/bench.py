@@ -70,13 +70,17 @@ class BenchCell:
     #: compares directly against the committed interpreter baseline — that
     #: comparison *is* the speedup measurement.
     engine: str = ""
+    #: MSHRs per core (``mshrs_per_core``). Unlike the engine this changes
+    #: simulated behavior, so non-default values suffix the cell id.
+    mshrs: int = 1
 
     @property
     def cell_id(self) -> str:
         """Stable string key used in payloads and cross-run comparisons."""
+        suffix = f"/m{self.mshrs}" if self.mshrs != 1 else ""
         return (
             f"{self.design}/{self.benchmark}/r{self.reads_per_core}"
-            f"/w{self.warmup_fraction:g}/s{self.seed}"
+            f"/w{self.warmup_fraction:g}/s{self.seed}{suffix}"
         )
 
 
@@ -100,6 +104,40 @@ def make_bench_grid(
         )
         for design in designs
         for benchmark in benchmarks
+    ]
+
+
+#: Pinned cells covering the batch-engine envelope extensions — multi-way
+#: Alloy, the victim buffer, and an MLP (mshrs=4) core — as (design,
+#: mshrs) pairs timed on one benchmark at the default trace length. These
+#: ride along with the full default grid so the committed baseline gates
+#: every kernel family, not just the direct-mapped single-MSHR designs.
+ENVELOPE_CELLS = (
+    ("alloy-4way", 1),
+    ("alloy-victim16", 1),
+    ("alloy-map-i", 4),
+)
+ENVELOPE_BENCHMARK = "mcf_r"
+
+
+def envelope_bench_cells(
+    reads_per_core: int = DEFAULT_READS,
+    warmup_fraction: float = 0.25,
+    seed: int = 1,
+    engine: str = "",
+) -> List[BenchCell]:
+    """The :data:`ENVELOPE_CELLS` as fully-pinned bench cells."""
+    return [
+        BenchCell(
+            design=design,
+            benchmark=ENVELOPE_BENCHMARK,
+            reads_per_core=reads_per_core,
+            warmup_fraction=warmup_fraction,
+            seed=seed,
+            engine=engine,
+            mshrs=mshrs,
+        )
+        for design, mshrs in ENVELOPE_CELLS
     ]
 
 
@@ -161,6 +199,8 @@ def time_cell(
     config = _bench_config()
     if cell.engine:
         config = replace(config, engine=cell.engine)
+    if cell.mshrs != 1:
+        config = replace(config, mshrs_per_core=cell.mshrs)
     # Materialize through the content-keyed arena so the harness reports
     # the trace-build/sim split (and benefits from persisted arenas).
     workload, trace_telemetry = get_workload_arena().fetch(
@@ -241,6 +281,7 @@ class BenchRun:
                 "reads_per_core": c.reads_per_core,
                 "warmup_fraction": c.warmup_fraction,
                 "seed": c.seed,
+                "mshrs": c.mshrs,
                 "heap_events": t.heap_events,
                 "wall_seconds": list(t.wall_seconds),
                 "wall_seconds_median": t.wall_median,

@@ -25,8 +25,11 @@ skip accumulator sampling; everything observable is reproduced exactly.
 
 Engine selection lives in :meth:`repro.sim.system.System.run`; this module's
 :func:`run` returns ``None`` when a configuration is outside the supported
-envelope (MLP cores, oracle devices, unknown design or policy types), and
-the caller falls back to the interpreter.
+envelope (oracle devices, unknown design or policy types), and the caller
+falls back to the interpreter. The envelope covers every design family —
+including multi-way Alloy, the victim-buffer variant and MLP cores
+(``mshrs_per_core > 1``, handled by a shared per-core in-flight list in
+each kernel's core-event prologue).
 """
 
 from __future__ import annotations
@@ -46,6 +49,7 @@ from repro.core.predictors import (
 )
 from repro.dram.device import DramDevice
 from repro.dramcache.alloy import AlloyCacheDesign, _SCENARIO_KEYS
+from repro.dramcache.alloy_victim import VICTIM_HIT_CYCLES, AlloyVictimDesign
 from repro.dramcache.base import ATTRIBUTION_EPSILON, LATENCY_BUCKETS
 from repro.dramcache.ideal_lo import IdealLODesign
 from repro.dramcache.lh_cache import LHCacheDesign, TAG_CHECK_CYCLES
@@ -78,12 +82,10 @@ def run(system) -> Optional["object"]:
     """Run ``system`` under the batch engine, or return ``None`` if the
     configuration is outside the supported envelope (caller falls back to
     the interpreter). All eligibility checks happen before any mutation."""
-    if system.config.mshrs_per_core != 1:
-        return None
     if system.checker is not None:
         return None
-    # Exact types only: OracleDramDevice (verify layer) and design
-    # subclasses (alloy-victim) override behavior the kernels inline.
+    # Exact types only: OracleDramDevice (verify layer) overrides the
+    # reservation arithmetic the kernels inline.
     if type(system.memory) is not DramDevice:
         return None
     if type(system.stacked) is not DramDevice:
@@ -116,9 +118,14 @@ def _select_kernel(design):
         if type(design.tags.policy) not in _POLICIES:
             return None
         return _run_lh
-    if kind is AlloyCacheDesign:
-        if design.cache.ways != 1:
-            return None  # multi-way Alloy streams several TADs
+    if kind is AlloyCacheDesign or kind is AlloyVictimDesign:
+        if (
+            design.cache.ways != 1
+            and type(design.cache._store.policy) is not LRUPolicy
+        ):
+            return None
+        if kind is AlloyVictimDesign and type(design.victims.policy) is not LRUPolicy:
+            return None
         if design._pred_kind == 3 and type(design.predictor) not in _MAP_TYPES:
             return None
         return _run_alloy
@@ -131,13 +138,18 @@ def _select_kernel(design):
 def _flatten(system, starts, need_pcs):
     """Concatenate post-warmup per-core trace slices into flat arrays.
 
-    Returns ``(A, G, W, P, base, n_reads, n_writes, A_np)`` where the first
-    four are plain lists (native ints/floats/bools — list indexing beats
-    numpy scalar extraction on the hot path), ``base`` holds per-core start
-    offsets into the flat arrays (len = cores + 1), and ``A_np`` is kept as
-    an array for the vectorized decodes.
+    Returns ``(A, G, W, P, D, base, n_reads, n_writes, A_np)`` where
+    ``A``/``G``/``W`` are plain lists (native ints/floats/bools — list
+    indexing beats numpy scalar extraction on the hot path), ``D`` is the
+    per-record dependence-flag list (built only when the system models MLP,
+    ``mshrs_per_core > 1`` — ``None`` otherwise), ``base`` holds per-core
+    start offsets into the flat arrays (len = cores + 1), and ``A_np`` is
+    kept as an array for the vectorized decodes. The single-core slices are
+    views into the (possibly arena-shared) trace arrays; kernels never
+    write through them.
     """
-    parts_a, parts_g, parts_w, parts_p = [], [], [], []
+    need_dep = system._mshrs > 1
+    parts_a, parts_g, parts_w, parts_p, parts_d = [], [], [], [], []
     base = [0]
     n_reads: List[int] = []
     n_writes: List[int] = []
@@ -150,6 +162,8 @@ def _flatten(system, starts, need_pcs):
         parts_w.append(w)
         if need_pcs:
             parts_p.append(trace.pcs[split:])
+        if need_dep:
+            parts_d.append(trace.dependent_flags()[split:])
         writes = int(w.sum())
         n_writes.append(writes)
         n_reads.append(len(a) - writes)
@@ -161,11 +175,16 @@ def _flatten(system, starts, need_pcs):
     if need_pcs:
         p_np = np.concatenate(parts_p) if len(parts_p) > 1 else parts_p[0]
         pcs = p_np
+    dep = None
+    if need_dep:
+        d_np = np.concatenate(parts_d) if len(parts_d) > 1 else parts_d[0]
+        dep = d_np.tolist()
     return (
         a_np.tolist(),
         g_np.tolist(),
         w_np.tolist(),
         pcs,
+        dep,
         base,
         n_reads,
         n_writes,
@@ -447,7 +466,7 @@ def _run_no_cache(system, starts):
     design = system.design
     memory = system.memory
     mdemand, mbg, mflush, _ = _device_fns(memory)
-    A, G, W, _, base, nr, nw, a_np = _flatten(system, starts, False)
+    A, G, W, _, D, base, nr, nw, a_np = _flatten(system, starts, False)
     mb, mc, mr = _mem_decode(a_np, memory.mapping)
     mapping = memory.mapping
     m_lpr = mapping.lines_per_row
@@ -459,6 +478,9 @@ def _run_no_cache(system, starts):
     num_cores = len(base) - 1
     ends = base[1:]
     cur = list(base[:-1])
+    mshrs = system._mshrs
+    mlp = mshrs > 1
+    outst = [[] for _ in range(num_cores)] if mlp else None
     finish = [0.0] * num_cores
     last_read = [0.0] * num_cores
     # Every read misses: misslat is readlat, and the predictor/tag/DRAM$
@@ -487,12 +509,29 @@ def _run_no_cache(system, starts):
         events += 1
         if kind == 0:
             ci = a
+            if mlp:
+                # MLP prologue (interpreter's _handle_core): retire finished
+                # reads, stall on a full MSHR file or a dependent read whose
+                # producer is still in flight. Each stall is a reschedule —
+                # a separate heap pop, like the interpreter's.
+                out = outst[ci]
+                if out:
+                    out = [t for t in out if t > now]
+                    outst[ci] = out
+                    if len(out) >= mshrs:
+                        push(heap, (min(out), seq, _EV_CORE, ci, 0))
+                        seq += 1
+                        continue
+                if D[cur[ci]] and last_read[ci] > now:
+                    push(heap, (last_read[ci], seq, _EV_CORE, ci, 0))
+                    seq += 1
+                    continue
             g = cur[ci]
             if W[g]:
                 n_wm += 1
                 push(heap, (now, seq, _EV_MEMWRITE, A[g], 0))
                 seq += 1
-                completed = now + wic
+                anchor = completed = now + wic
             else:
                 arrival = now + l3
                 n_mr += 1
@@ -506,6 +545,13 @@ def _run_no_cache(system, starts):
                     gap = -gap
                 ua(gap if gap > eps else 0.0)
                 completed = done if done >= arrival else arrival
+                if mlp:
+                    # Compute overlaps the outstanding miss: the next record
+                    # issues relative to now, not the read's completion.
+                    outst[ci].append(completed)
+                    anchor = now
+                else:
+                    anchor = completed
                 if completed > last_read[ci]:
                     last_read[ci] = completed
             if completed > finish[ci]:
@@ -513,7 +559,7 @@ def _run_no_cache(system, starts):
             g += 1
             cur[ci] = g
             if g < ends[ci]:
-                nxt = completed + G[g]
+                nxt = anchor + G[g]
                 push(heap, (nxt if nxt >= now else now, seq, _EV_CORE, ci, 0))
                 seq += 1
         else:  # _EV_MEMWRITE
@@ -545,7 +591,7 @@ def _run_ideal_lo(system, starts):
     stacked = system.stacked
     mdemand, mbg, mflush, _ = _device_fns(memory)
     sdemand, sbg, sflush, _ = _device_fns(stacked)
-    A, G, W, _, base, nr, nw, a_np = _flatten(system, starts, False)
+    A, G, W, _, D, base, nr, nw, a_np = _flatten(system, starts, False)
     mb, mc, mr = _mem_decode(a_np, memory.mapping)
     store = design.cache
     si_np = a_np % store.num_sets
@@ -564,6 +610,9 @@ def _run_ideal_lo(system, starts):
     num_cores = len(base) - 1
     ends = base[1:]
     cur = list(base[:-1])
+    mshrs = system._mshrs
+    mlp = mshrs > 1
+    outst = [[] for _ in range(num_cores)] if mlp else None
     finish = [0.0] * num_cores
     last_read = [0.0] * num_cores
     readlat, hitlat, misslat = [], [], []
@@ -593,6 +642,23 @@ def _run_ideal_lo(system, starts):
         events += 1
         if kind == 0:
             ci = a
+            if mlp:
+                # MLP prologue (interpreter's _handle_core): retire finished
+                # reads, stall on a full MSHR file or a dependent read whose
+                # producer is still in flight. Each stall is a reschedule —
+                # a separate heap pop, like the interpreter's.
+                out = outst[ci]
+                if out:
+                    out = [t for t in out if t > now]
+                    outst[ci] = out
+                    if len(out) >= mshrs:
+                        push(heap, (min(out), seq, _EV_CORE, ci, 0))
+                        seq += 1
+                        continue
+                if D[cur[ci]] and last_read[ci] > now:
+                    push(heap, (last_read[ci], seq, _EV_CORE, ci, 0))
+                    seq += 1
+                    continue
             g = cur[ci]
             addr = A[g]
             i = SI[g]
@@ -607,7 +673,7 @@ def _run_ideal_lo(system, starts):
                     n_wm += 1
                     push(heap, (now, seq, _EV_MEMWRITE, addr, 0))
                 seq += 1
-                completed = now + wic
+                anchor = completed = now + wic
             else:
                 arrival = now + l3
                 if tags[i] == addr:
@@ -641,6 +707,13 @@ def _run_ideal_lo(system, starts):
                     gap = -gap
                 ua(gap if gap > eps else 0.0)
                 completed = done if done >= arrival else arrival
+                if mlp:
+                    # Compute overlaps the outstanding miss: the next record
+                    # issues relative to now, not the read's completion.
+                    outst[ci].append(completed)
+                    anchor = now
+                else:
+                    anchor = completed
                 if completed > last_read[ci]:
                     last_read[ci] = completed
             if completed > finish[ci]:
@@ -648,7 +721,7 @@ def _run_ideal_lo(system, starts):
             g += 1
             cur[ci] = g
             if g < ends[ci]:
-                nxt = completed + G[g]
+                nxt = anchor + G[g]
                 push(heap, (nxt if nxt >= now else now, seq, _EV_CORE, ci, 0))
                 seq += 1
         elif kind == 1:  # _EV_MEMWRITE
@@ -728,7 +801,7 @@ def _run_sram(system, starts):
     ) = stacked._hot
     s_open = stacked._open_row
     s_openpol = stacked._open_policy
-    A, G, W, _, base, nr, nw, a_np = _flatten(system, starts, False)
+    A, G, W, _, D, base, nr, nw, a_np = _flatten(system, starts, False)
     mb, mc, mr = _mem_decode(a_np, memory.mapping)
     tags_cache = design.tags
     si_np = a_np % tags_cache.num_sets
@@ -769,6 +842,9 @@ def _run_sram(system, starts):
     num_cores = len(base) - 1
     ends = base[1:]
     cur = list(base[:-1])
+    mshrs = system._mshrs
+    mlp = mshrs > 1
+    outst = [[] for _ in range(num_cores)] if mlp else None
     finish = [0.0] * num_cores
     last_read = [0.0] * num_cores
     readlat, hitlat, misslat = [], [], []
@@ -799,6 +875,23 @@ def _run_sram(system, starts):
         events += 1
         if kind == 0:
             ci = a
+            if mlp:
+                # MLP prologue (interpreter's _handle_core): retire finished
+                # reads, stall on a full MSHR file or a dependent read whose
+                # producer is still in flight. Each stall is a reschedule —
+                # a separate heap pop, like the interpreter's.
+                out = outst[ci]
+                if out:
+                    out = [t for t in out if t > now]
+                    outst[ci] = out
+                    if len(out) >= mshrs:
+                        push(heap, (min(out), seq, _EV_CORE, ci, 0))
+                        seq += 1
+                        continue
+                if D[cur[ci]] and last_read[ci] > now:
+                    push(heap, (last_read[ci], seq, _EV_CORE, ci, 0))
+                    seq += 1
+                    continue
             g = cur[ci]
             addr = A[g]
             is_wr = W[g]
@@ -838,7 +931,7 @@ def _run_sram(system, starts):
                     n_wm += 1
                     push(heap, (t_tag, seq, _EV_MEMWRITE, addr, 0))
                 seq += 1
-                completed = now + wic
+                anchor = completed = now + wic
             else:
                 if hit:
                     # Single stacked data read, ``demand`` closure inlined.
@@ -911,6 +1004,13 @@ def _run_sram(system, starts):
                     gap = -gap
                 ua(gap if gap > eps else 0.0)
                 completed = done if done >= arrival else arrival
+                if mlp:
+                    # Compute overlaps the outstanding miss: the next record
+                    # issues relative to now, not the read's completion.
+                    outst[ci].append(completed)
+                    anchor = now
+                else:
+                    anchor = completed
                 if completed > last_read[ci]:
                     last_read[ci] = completed
             if completed > finish[ci]:
@@ -918,7 +1018,7 @@ def _run_sram(system, starts):
             g += 1
             cur[ci] = g
             if g < ends[ci]:
-                nxt = completed + G[g]
+                nxt = anchor + G[g]
                 push(heap, (nxt if nxt >= now else now, seq, _EV_CORE, ci, 0))
                 seq += 1
         elif kind == 1:  # _EV_MEMWRITE
@@ -1126,7 +1226,7 @@ def _run_lh(system, starts):
     ) = stacked._hot
     s_open = stacked._open_row
     s_openpol = stacked._open_policy
-    A, G, W, _, base, nr, nw, a_np = _flatten(system, starts, False)
+    A, G, W, _, D, base, nr, nw, a_np = _flatten(system, starts, False)
     mb, mc, mr = _mem_decode(a_np, memory.mapping)
     tags_cache = design.tags
     si_np = a_np % tags_cache.num_sets
@@ -1191,6 +1291,9 @@ def _run_lh(system, starts):
     num_cores = len(base) - 1
     ends = base[1:]
     cur = list(base[:-1])
+    mshrs = system._mshrs
+    mlp = mshrs > 1
+    outst = [[] for _ in range(num_cores)] if mlp else None
     finish = [0.0] * num_cores
     last_read = [0.0] * num_cores
     readlat, hitlat, misslat = [], [], []
@@ -1224,6 +1327,23 @@ def _run_lh(system, starts):
         events += 1
         if kind == 0:
             ci = a
+            if mlp:
+                # MLP prologue (interpreter's _handle_core): retire finished
+                # reads, stall on a full MSHR file or a dependent read whose
+                # producer is still in flight. Each stall is a reschedule —
+                # a separate heap pop, like the interpreter's.
+                out = outst[ci]
+                if out:
+                    out = [t for t in out if t > now]
+                    outst[ci] = out
+                    if len(out) >= mshrs:
+                        push(heap, (min(out), seq, _EV_CORE, ci, 0))
+                        seq += 1
+                        continue
+                if D[cur[ci]] and last_read[ci] > now:
+                    push(heap, (last_read[ci], seq, _EV_CORE, ci, 0))
+                    seq += 1
+                    continue
             g = cur[ci]
             addr = A[g]
             is_wr = W[g]
@@ -1270,7 +1390,7 @@ def _run_lh(system, starts):
                     n_wm += 1
                     push(heap, (t0, seq, _EV_MEMWRITE, addr, 0))
                 seq += 1
-                completed = now + wic
+                anchor = completed = now + wic
             else:
                 if hit:
                     # Compound hit sequence, device arithmetic inlined
@@ -1420,6 +1540,13 @@ def _run_lh(system, starts):
                     gap = -gap
                 ua(gap if gap > eps else 0.0)
                 completed = done if done >= arrival else arrival
+                if mlp:
+                    # Compute overlaps the outstanding miss: the next record
+                    # issues relative to now, not the read's completion.
+                    outst[ci].append(completed)
+                    anchor = now
+                else:
+                    anchor = completed
                 if completed > last_read[ci]:
                     last_read[ci] = completed
             if completed > finish[ci]:
@@ -1427,7 +1554,7 @@ def _run_lh(system, starts):
             g += 1
             cur[ci] = g
             if g < ends[ci]:
-                nxt = completed + G[g]
+                nxt = anchor + G[g]
                 push(heap, (nxt if nxt >= now else now, seq, _EV_CORE, ci, 0))
                 seq += 1
         elif kind == 1:  # _EV_MEMWRITE
@@ -1692,7 +1819,7 @@ def _run_alloy(system, starts):
         ]
     else:
         pk = dkind  # 0 = none, 1 = MissMap, 2 = Perfect
-    A, G, W, P, base, nr, nw, a_np = _flatten(system, starts, pk == 3)
+    A, G, W, P, D, base, nr, nw, a_np = _flatten(system, starts, pk == 3)
     mb, mc, mr = _mem_decode(a_np, memory.mapping)
     si_np = a_np % design._num_sets
     SI = si_np.tolist()
@@ -1706,8 +1833,26 @@ def _run_alloy(system, starts):
     m_banks = mapping.banks
     mlb = memory.timings.line_burst
     store = design.cache._store
-    tags = store._tags
-    dirty = store._dirty
+    # Multi-way Alloy keeps the TAD array in a SetAssocCache (always LRU,
+    # guarded in _select_kernel); direct-mapped uses the flat tag arrays.
+    mw = design.cache.ways != 1
+    if mw:
+        sets = store._sets
+        tags = dirty = None
+    else:
+        tags = store._tags
+        dirty = store._dirty
+    # The victim-buffer variant (always direct-mapped) layers a single-set
+    # LRU SetAssocCache probe over the read path.
+    victim = type(design) is AlloyVictimDesign
+    if victim:
+        vset = design.victims._sets[0]
+        vtags = vset.tags
+        vdirty = vset.dirty
+        vstate = vset.policy_state
+        vimap = vset.index_map
+    vhc = VICTIM_HIT_CYCLES
+    vhcf = float(VICTIM_HIT_CYCLES)
     mact = predictor._mact if pk == 3 else None
     mac_g = predictor._mac if pk == 4 else None
     missmap = design._missmap
@@ -1718,6 +1863,9 @@ def _run_alloy(system, starts):
     num_cores = len(base) - 1
     ends = base[1:]
     cur = list(base[:-1])
+    mshrs = system._mshrs
+    mlp = mshrs > 1
+    outst = [[] for _ in range(num_cores)] if mlp else None
     finish = [0.0] * num_cores
     last_read = [0.0] * num_cores
     readlat, hitlat, misslat = [], [], []
@@ -1731,6 +1879,16 @@ def _run_alloy(system, starts):
     push = heappush
     pop = heappop
     seq = 0
+    if victim and system._heap:
+        # Warmup can overflow the victim buffer: each dirty casualty was
+        # scheduled as a _memory_write(t, addr) closure on the system heap
+        # (address captured as the lambda's default). The interpreter pops
+        # them at run start, before any core event — translate them, in
+        # pop order, ahead of the core start pushes.
+        for when, _, fn in sorted(system._heap):
+            push(heap, (when, seq, _EV_MEMWRITE, fn.__defaults__[0], 0))
+            seq += 1
+        system._heap.clear()
     for ci in range(num_cores):
         if cur[ci] < ends[ci]:
             gap = G[cur[ci]]
@@ -1742,17 +1900,83 @@ def _run_alloy(system, starts):
     pm = pc_ = 0  # predictor _note tallies
     s_mm = s_mc = s_cm = s_cc = 0  # Table 5 scenarios
     n_mr = n_mw = n_wh = n_wm = n_trh = n_wasted = n_fills = 0
+    n_vhit = v_h = v_m = v_f = v_evict = v_devict = 0
+
+    if victim:
+
+        def stash(ev_a, ev_d, tnow):
+            # _stash_victim_functional inlined: victims.fill(ev_a, ev_d)
+            # on the single LRU set, plus the dirty-overflow writeback.
+            nonlocal seq, v_f, v_evict, v_devict
+            w = vimap.get(ev_a)
+            if w is None:
+                ov_addr = -1
+                ov_dirty = False
+                if -1 in vtags:
+                    w = vtags.index(-1)
+                else:
+                    w = vstate[-1]
+                    ov_addr = vtags[w]
+                    ov_dirty = vdirty[w]
+                    del vimap[ov_addr]
+                    v_evict += 1
+                    if ov_dirty:
+                        v_devict += 1
+                vtags[w] = ev_a
+                vimap[ev_a] = w
+                vdirty[w] = ev_d
+                v_f += 1
+                if ov_dirty:
+                    push(heap, (tnow, seq, _EV_MEMWRITE, ov_addr, 0))
+                    seq += 1
+            elif ev_d:
+                vdirty[w] = True
+            vstate.remove(w)
+            vstate.insert(0, w)
+
     while heap:
         now, _, kind, a, b = pop(heap)
         events += 1
         if kind == 0:
             ci = a
+            if mlp:
+                # MLP prologue (interpreter's _handle_core): retire finished
+                # reads, stall on a full MSHR file or a dependent read whose
+                # producer is still in flight. Each stall is a reschedule —
+                # a separate heap pop, like the interpreter's.
+                out = outst[ci]
+                if out:
+                    out = [t for t in out if t > now]
+                    outst[ci] = out
+                    if len(out) >= mshrs:
+                        push(heap, (min(out), seq, _EV_CORE, ci, 0))
+                        seq += 1
+                        continue
+                if D[cur[ci]] and last_read[ci] > now:
+                    push(heap, (last_read[ci], seq, _EV_CORE, ci, 0))
+                    seq += 1
+                    continue
             g = cur[ci]
             addr = A[g]
             i = SI[g]
             if W[g]:
-                if tags[i] == addr:
+                if mw:
+                    cset = sets[i]
+                    way = cset.index_map.get(addr)
+                    if way is not None:
+                        state = cset.policy_state
+                        state.remove(way)
+                        state.insert(0, way)
+                        cset.dirty[way] = True
+                        hit_w = True
+                    else:
+                        hit_w = False
+                elif tags[i] == addr:
                     dirty[i] = True
+                    hit_w = True
+                else:
+                    hit_w = False
+                if hit_w:
                     dm_h += 1
                     n_wh += 1
                     hit_flag = 1
@@ -1762,13 +1986,105 @@ def _run_alloy(system, starts):
                     hit_flag = 0
                 push(heap, (now, seq, _EV_WTRAFFIC, g, hit_flag))
                 seq += 1
-                completed = now + wic
+                anchor = completed = now + wic
             else:
                 arrival = now + l3
-                hit = tags[i] == addr
-                if hit:
+                if victim:
+                    vway = vimap.get(addr)
+                    if vway is None:
+                        v_m += 1
+                    else:
+                        # SRAM victim-buffer hit: fixed-latency service, no
+                        # DRAM/predictor probe; the line swaps back into the
+                        # TAD array and the displaced occupant is stashed.
+                        vstate.remove(vway)
+                        vstate.insert(0, vway)
+                        v_h += 1
+                        n_vhit += 1
+                        s_cc += 1
+                        done = arrival + vhc
+                        lat = done - arrival
+                        ha(lat)
+                        qa(0.0)
+                        pa(0.0)
+                        ta(0.0)
+                        da(vhcf)
+                        mma(0.0)
+                        if pk == 3:
+                            row_m = mact[ci]
+                            i2 = IDX[g]
+                            m2 = row_m[i2]
+                            row_m[i2] = m2 - 1 if m2 > 0 else 0
+                        elif pk == 4:
+                            m2 = mac_g[ci]
+                            mac_g[ci] = m2 - 1 if m2 > 0 else 0
+                        # _swap_back_functional: victims.invalidate, then
+                        # DirectMappedCache.fill(addr, dirty=was_d).
+                        was_d = vdirty[vway]
+                        del vimap[addr]
+                        vtags[vway] = -1
+                        vdirty[vway] = False
+                        old = tags[i]
+                        if old == addr:
+                            if was_d:
+                                dirty[i] = True
+                        else:
+                            if old != -1:
+                                disp_d = dirty[i]
+                                n_evict += 1
+                                if disp_d:
+                                    n_devict += 1
+                                tags[i] = addr
+                                dirty[i] = was_d
+                                dm_f += 1
+                                stash(old, disp_d, now)
+                            else:
+                                tags[i] = addr
+                                dirty[i] = was_d
+                                dm_f += 1
+                        push(heap, (arrival, seq, _EV_STACKWRITE, g, 0))
+                        seq += 1
+                        ra(lat)
+                        gap = lat - vhcf
+                        if gap < 0.0:
+                            gap = -gap
+                        ua(gap if gap > eps else 0.0)
+                        completed = done if done >= arrival else arrival
+                        if mlp:
+                            outst[ci].append(completed)
+                            anchor = now
+                        else:
+                            anchor = completed
+                        if completed > last_read[ci]:
+                            last_read[ci] = completed
+                        if completed > finish[ci]:
+                            finish[ci] = completed
+                        g += 1
+                        cur[ci] = g
+                        if g < ends[ci]:
+                            nxt = anchor + G[g]
+                            push(
+                                heap,
+                                (nxt if nxt >= now else now, seq, _EV_CORE, ci, 0),
+                            )
+                            seq += 1
+                        continue
+                if mw:
+                    cset = sets[i]
+                    way = cset.index_map.get(addr)
+                    hit = way is not None
+                    if hit:
+                        state = cset.policy_state
+                        state.remove(way)
+                        state.insert(0, way)
+                        dm_h += 1
+                    else:
+                        dm_m += 1
+                elif tags[i] == addr:
+                    hit = True
                     dm_h += 1
                 else:
+                    hit = False
                     dm_m += 1
                 if pk == 3:
                     row_m = mact[ci]
@@ -1890,6 +2206,13 @@ def _run_alloy(system, starts):
                     gap = -gap
                 ua(gap if gap > eps else 0.0)
                 completed = done if done >= arrival else arrival
+                if mlp:
+                    # Compute overlaps the outstanding miss: the next record
+                    # issues relative to now, not the read's completion.
+                    outst[ci].append(completed)
+                    anchor = now
+                else:
+                    anchor = completed
                 if completed > last_read[ci]:
                     last_read[ci] = completed
             if completed > finish[ci]:
@@ -1897,7 +2220,7 @@ def _run_alloy(system, starts):
             g += 1
             cur[ci] = g
             if g < ends[ci]:
-                nxt = completed + G[g]
+                nxt = anchor + G[g]
                 push(heap, (nxt if nxt >= now else now, seq, _EV_CORE, ci, 0))
                 seq += 1
         elif kind == 1:  # _EV_MEMWRITE
@@ -1906,31 +2229,66 @@ def _run_alloy(system, starts):
             ch = chunk % m_ch
             per = chunk // m_ch
             mbg(now, ch * m_banks + per % m_banks, ch, per // m_banks, mlb, True)
-        elif kind == 2:  # _EV_FILL (DirectMappedCache.fill inlined)
+        elif kind == 2:  # _EV_FILL (cache fill + replacement inlined)
             addr2 = A[a]
             i = SI[a]
-            old = tags[i]
             ev_valid = False
             ev_dirty = False
-            if old != addr2:
-                if old != -1:
-                    ev_valid = True
-                    ev_dirty = dirty[i]
-                    n_evict += 1
-                    if ev_dirty:
-                        n_devict += 1
-                tags[i] = addr2
-                dirty[i] = False
-                dm_f += 1
+            old = -1
+            if mw:
+                # SetAssocCache.fill + LRU on_insert (both branches).
+                cset = sets[i]
+                ctags = cset.tags
+                imap = cset.index_map
+                way = imap.get(addr2)
+                if way is None:
+                    if -1 in ctags:
+                        way = ctags.index(-1)
+                    else:
+                        way = cset.policy_state[-1]
+                        old = ctags[way]
+                        ev_valid = True
+                        ev_dirty = cset.dirty[way]
+                        del imap[old]
+                        n_evict += 1
+                        if ev_dirty:
+                            n_devict += 1
+                    ctags[way] = addr2
+                    imap[addr2] = way
+                    cset.dirty[way] = False
+                    dm_f += 1
+                state = cset.policy_state
+                state.remove(way)
+                state.insert(0, way)
+            else:
+                # DirectMappedCache.fill inlined.
+                old = tags[i]
+                if old != addr2:
+                    if old != -1:
+                        ev_valid = True
+                        ev_dirty = dirty[i]
+                        n_evict += 1
+                        if ev_dirty:
+                            n_devict += 1
+                    tags[i] = addr2
+                    dirty[i] = False
+                    dm_f += 1
             if missmap is not None:
                 missmap.insert(addr2)
                 if ev_valid:
                     missmap.remove(old)
-            if ev_dirty:
+            if victim:
+                # Displaced lines (clean or dirty) go to the victim buffer
+                # instead of straight to memory.
+                if ev_valid:
+                    stash(old, ev_dirty, now)
+            elif ev_dirty:
                 push(heap, (now, seq, _EV_MEMWRITE, old, 0))
                 seq += 1
             sbg(now, sb[a], sc[a], sr[a], BU[a], True)
             n_fills += 1
+        elif kind == 3:  # _EV_STACKWRITE (victim swap-back TAD refill)
+            sbg(now, sb[a], sc[a], sr[a], BU[a], True)
         else:  # _EV_WTRAFFIC: probe the TAD, then write it or go to memory
             probe_done = sbg(now, sb[a], sc[a], sr[a], BU[a], False)
             if b:
@@ -1957,6 +2315,14 @@ def _run_alloy(system, starts):
     _flush(store.stats, "fills", dm_f)
     _flush(store.stats, "evictions", n_evict)
     _flush(store.stats, "dirty_evictions", n_devict)
+    if victim:
+        _flush(stats, "victim_hits", n_vhit)
+        vstats = design.victims.stats
+        _flush(vstats, "hits", v_h)
+        _flush(vstats, "misses", v_m)
+        _flush(vstats, "fills", v_f)
+        _flush(vstats, "evictions", v_evict)
+        _flush(vstats, "dirty_evictions", v_devict)
     if pk >= 2:  # kinds with a _note()-tracking predictor
         predictor.predicted_memory += pm
         predictor.predicted_cache += pc_

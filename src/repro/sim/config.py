@@ -73,10 +73,12 @@ class SystemConfig:
     verify: bool = False
     #: Simulation engine: "interp" (the reference event interpreter),
     #: "batch" (:mod:`repro.sim.batch` — vectorized precompute + compact
-    #: scalar core, bit-identical results), or "" to defer to the
-    #: ``REPRO_ENGINE`` environment variable (default: interp). The batch
-    #: engine falls back to the interpreter for configurations outside its
-    #: envelope (MLP cores, verify runs, subclassed designs/devices).
+    #: scalar core, bit-identical results), "auto" (batch whenever the
+    #: configuration is inside its envelope, interpreter otherwise — what
+    #: the sweep/jobs/explore workers run under), or "" to defer to the
+    #: ``REPRO_ENGINE`` environment variable (default: interp). "batch"
+    #: and "auto" both fall back to the interpreter for configurations
+    #: outside the envelope (verify runs, subclassed designs/devices).
     engine: str = ""
 
     @property

@@ -61,7 +61,7 @@ import signal
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -385,8 +385,15 @@ def _execute_cell(
     (memo -> ``.npz`` -> generate). ``wall_seconds`` covers only the
     simulation; workload materialization is reported separately as
     ``trace_build_seconds`` / ``trace_source``.
+
+    Cells with no explicit engine run under ``engine="auto"`` (batch where
+    eligible, interpreter otherwise) unless ``REPRO_ENGINE`` is set — the
+    env var stays authoritative so CI parity legs can pin either engine.
+    The engine that actually produced the result lands in telemetry as
+    ``engine_used``; it never affects the result itself (bit-exact) so
+    cache keys ignore the engine entirely.
     """
-    from repro.sim.runner import run_design
+    from repro.sim.system import System
 
     if workload is None:
         arena = get_workload_arena(trace_dir)
@@ -395,18 +402,23 @@ def _execute_cell(
         "trace_source": "caller",
         "trace_build_seconds": 0.0,
     }
+    config = cell.config
+    if not config.engine and "REPRO_ENGINE" not in os.environ:
+        config = replace(config, engine="auto")
     started = time.perf_counter()
-    result = run_design(
+    system = System(
+        config,
         cell.design,
         workload,
-        cell.config,
         warmup_fraction=cell.warmup_fraction,
     )
+    result = system.run()
     wall = time.perf_counter() - started
     telemetry = {
         "wall_seconds": wall,
         "heap_events": result.heap_events,
         "events_per_sec": result.heap_events / wall if wall > 0 else 0.0,
+        "engine_used": system.engine_used,
         "trace_build_seconds": float(
             trace_telemetry.get("trace_build_seconds", 0.0)
         ),
@@ -565,6 +577,11 @@ class CellResult:
     #: ``npz``, ``shared`` (attached parent segment), ``shared-memo``
     #: (worker reused a prior attachment), or ``""`` for cache hits.
     trace_source: str = ""
+    #: Engine that produced ``result``: ``"batch"`` or ``"interp"``
+    #: (``""`` for cache entries written before engines were recorded).
+    #: Purely telemetry — both engines are bit-exact, so the result and
+    #: its cache key are engine-independent.
+    engine_used: str = ""
 
 
 @dataclass
@@ -617,6 +634,19 @@ class SweepReport:
         simulated = self.simulated_seconds
         events = sum(c.heap_events for c in self.cells if not c.from_cache)
         return events / simulated if simulated > 0 else 0.0
+
+    @property
+    def engine_counts(self) -> Dict[str, int]:
+        """Engine -> number of cells it produced (``""`` -> "unknown").
+
+        Cache hits keep the engine of the run that populated the cache;
+        entries persisted before engines were recorded count as unknown.
+        """
+        counts: Dict[str, int] = {}
+        for c in self.cells:
+            key = c.engine_used or "unknown"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
 
     # -- grid accessors -------------------------------------------------
     def result(self, design: str, benchmark: str) -> SimResult:
@@ -685,6 +715,13 @@ class SweepReport:
                 f"{self.trace_build_seconds:.2f}s trace build vs "
                 f"{self.simulated_seconds:.2f}s simulation"
             )
+        counts = self.engine_counts
+        lines.append(
+            "-- engines: "
+            + ", ".join(
+                f"{name} {counts[name]}" for name in sorted(counts)
+            )
+        )
         return "\n".join(lines)
 
 
@@ -742,4 +779,5 @@ def _cell_result(
         from_cache=from_cache,
         trace_build_seconds=float(telemetry.get("trace_build_seconds", 0.0)),
         trace_source=str(telemetry.get("trace_source", "")),
+        engine_used=str(telemetry.get("engine_used", "")),
     )

@@ -41,6 +41,12 @@ _SCENARIO_KEYS = (
     "pred_cache_actual_cache",
 )
 
+_ENGINES = ("interp", "batch", "auto")
+
+#: Invalid REPRO_ENGINE values already warned about (once per process —
+#: sweeps construct thousands of Systems).
+_warned_engines: set = set()
+
 
 class System:
     """One complete system instance: devices + design + cores."""
@@ -113,18 +119,21 @@ class System:
         """
         engine = self.config.engine
         if engine:
-            if engine not in ("interp", "batch"):
+            if engine not in _ENGINES:
                 raise ValueError(
-                    f"unknown engine {engine!r}: expected 'interp' or 'batch'"
+                    f"unknown engine {engine!r}: "
+                    "expected 'interp', 'batch' or 'auto'"
                 )
             return engine
         env = os.environ.get("REPRO_ENGINE", "")
-        if env and env not in ("interp", "batch"):
-            print(
-                f"repro: ignoring invalid REPRO_ENGINE={env!r} "
-                "(expected 'interp' or 'batch')",
-                file=sys.stderr,
-            )
+        if env and env not in _ENGINES:
+            if env not in _warned_engines:
+                _warned_engines.add(env)
+                print(
+                    f"repro: ignoring invalid REPRO_ENGINE={env!r} "
+                    "(expected 'interp', 'batch' or 'auto')",
+                    file=sys.stderr,
+                )
             return "interp"
         return env or "interp"
 
@@ -162,14 +171,15 @@ class System:
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
-        if self._resolve_engine() == "batch":
+        if self._resolve_engine() != "interp":
+            # "batch" and "auto" both attempt the batch engine; any
+            # configuration outside its envelope falls through to the
+            # interpreter (batch.run declines before mutating state).
             from repro.sim import batch
 
             result = batch.run(self)
             if result is not None:
                 return result
-            # Configuration outside the batch envelope: fall through to
-            # the interpreter (batch.run declines before mutating state).
 
         starts = self._warm()
         self._cores = [

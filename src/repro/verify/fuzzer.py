@@ -46,9 +46,21 @@ DEVICE_MATRIX: Tuple[Tuple[DramTimings, str], ...] = (
 )
 
 #: Designs and benchmarks the System-level differential rotates through
-#: (one combination drawn per system seed).
-SYSTEM_DESIGNS = ("alloy-map-i", "lh-cache", "sram-tag", "ideal-lo")
+#: (one combination drawn per system seed). Covers every batch-kernel
+#: family: direct-mapped Alloy, set-associative (LH/SRAM-tag plus the
+#: multi-way Alloy), the victim buffer, and the tagless ideal bound.
+SYSTEM_DESIGNS = (
+    "alloy-map-i",
+    "lh-cache",
+    "sram-tag",
+    "ideal-lo",
+    "alloy-2way",
+    "alloy-victim16",
+)
 SYSTEM_BENCHMARKS = ("mcf_r", "gcc_r", "milc_r", "lbm_r")
+#: MSHRs-per-core values the system seeds rotate through — >1 exercises
+#: the kernels' in-flight (MLP) path against the interpreter's.
+SYSTEM_MSHRS = (1, 1, 4)
 
 #: Stop collecting after this many divergences (one broken invariant tends
 #: to cascade; the first few messages carry the signal).
@@ -224,10 +236,12 @@ def fuzz_system_pair(
     num_cores = rng.choice((1, 2, 4))
     offchip_policy = rng.choice(("open", "closed"))
     stacked_policy = rng.choice(("open", "closed"))
+    mshrs = rng.choice(SYSTEM_MSHRS)
     config = SystemConfig(
         num_cores=num_cores,
         offchip_page_policy=offchip_policy,
         stacked_page_policy=stacked_policy,
+        mshrs_per_core=mshrs,
     )
     workload = build_workload(
         benchmark,
@@ -238,7 +252,7 @@ def fuzz_system_pair(
     )
     where = (
         f"system seed={seed} ({design}/{benchmark}, cores={num_cores}, "
-        f"pages={offchip_policy}/{stacked_policy})"
+        f"pages={offchip_policy}/{stacked_policy}, mshrs={mshrs})"
     )
     divergences: List[str] = []
 

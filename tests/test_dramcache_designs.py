@@ -351,4 +351,5 @@ class TestFactoryIntegration:
         assert "alloy-map-i" in DESIGN_NAMES
         assert "lh-cache" in DESIGN_NAMES
         assert "alloy-victim16" in DESIGN_NAMES
-        assert len(DESIGN_NAMES) == 20
+        assert "alloy-4way" in DESIGN_NAMES
+        assert len(DESIGN_NAMES) == 21

@@ -35,11 +35,15 @@ BATCH_DESIGNS = (
     "alloy-map-i",
     "alloy-perfect",
     "alloy-burst8",
+    "alloy-2way",
+    "alloy-4way",
+    "alloy-victim16",
+    "alloy-victim64",
 )
 
-#: Designs the engine must decline (no kernel: set-assoc alloy variants,
-#: victim buffers, the L3-filter design).
-FALLBACK_DESIGNS = ("alloy-2way", "alloy-victim16", "perfect-l3")
+#: Designs the engine must decline (no kernel: the L3-filter design is
+#: the only factory design left outside the envelope).
+FALLBACK_DESIGNS = ("perfect-l3",)
 
 
 def _config(**overrides):
@@ -113,6 +117,22 @@ class TestBitExactness:
         assert batch.engine_used == "batch"
         assert_identical(got, want)
 
+    @pytest.mark.parametrize(
+        "design", ["alloy-map-i", "lh-cache", "alloy-victim16", "alloy-2way"]
+    )
+    @pytest.mark.parametrize("mshrs", [2, 4])
+    def test_matches_with_mlp_cores(self, design, mshrs):
+        _, want, batch, got = _pair(design, _config(mshrs_per_core=mshrs))
+        assert batch.engine_used == "batch"
+        assert_identical(got, want)
+
+    def test_victim_buffer_matches_on_write_heavy_benchmark(self):
+        _, want, batch, got = _pair(
+            "alloy-victim64", _config(), benchmark="milc_r"
+        )
+        assert batch.engine_used == "batch"
+        assert_identical(got, want)
+
 
 class TestFallback:
     @pytest.mark.parametrize("design", FALLBACK_DESIGNS)
@@ -122,11 +142,16 @@ class TestFallback:
         system.run()
         assert system.engine_used == "interp"
 
-    def test_mlp_cores_fall_back(self):
-        config = _config(engine="batch", mshrs_per_core=4)
-        system = System(config, "alloy-map-i", _workload(config))
-        system.run()
-        assert system.engine_used == "interp"
+    def test_non_lru_multiway_alloy_falls_back(self):
+        # The multi-way kernels inline LRU transitions specifically; a
+        # replaced policy must make the engine decline, not approximate.
+        from repro.cache.replacement import RandomPolicy
+        from repro.sim import batch
+
+        config = _config(engine="batch")
+        system = System(config, "alloy-2way", _workload(config))
+        system.design.cache._store.policy = RandomPolicy()
+        assert batch.run(system) is None
 
     def test_verify_runs_fall_back(self):
         config = _config(engine="batch", verify=True)
@@ -166,7 +191,29 @@ class TestEngineSelection:
         system.run()
         assert system.engine_used == "interp"
 
+    def test_auto_selects_batch_when_eligible(self):
+        config = _config(engine="auto")
+        system = System(config, "alloy-victim16", _workload(config))
+        system.run()
+        assert system.engine_used == "batch"
+
+    def test_auto_falls_back_outside_envelope(self):
+        config = _config(engine="auto")
+        system = System(config, "perfect-l3", _workload(config))
+        system.run()
+        assert system.engine_used == "interp"
+
+    def test_env_auto_accepted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "auto")
+        config = _config()
+        system = System(config, "no-cache", _workload(config))
+        system.run()
+        assert system.engine_used == "batch"
+
     def test_invalid_env_warns_and_uses_interp(self, monkeypatch, capsys):
+        import repro.sim.system as system_mod
+
+        monkeypatch.setattr(system_mod, "_warned_engines", set())
         monkeypatch.setenv("REPRO_ENGINE", "warp")
         config = _config()
         system = System(config, "no-cache", _workload(config))
@@ -174,6 +221,20 @@ class TestEngineSelection:
         assert system.engine_used == "interp"
         err = capsys.readouterr().err
         assert "ignoring invalid REPRO_ENGINE='warp'" in err
+
+    def test_invalid_env_warning_dedupes_per_process(
+        self, monkeypatch, capsys
+    ):
+        import repro.sim.system as system_mod
+
+        monkeypatch.setattr(system_mod, "_warned_engines", set())
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        config = _config()
+        workload = _workload(config)
+        for _ in range(3):
+            System(config, "no-cache", workload).run()
+        err = capsys.readouterr().err
+        assert err.count("ignoring invalid REPRO_ENGINE='turbo'") == 1
 
     def test_env_parity_with_interpreter(self, monkeypatch):
         config = _config()
@@ -223,3 +284,89 @@ class TestIntegration:
         from repro.verify.fuzzer import fuzz_system_pair
 
         assert fuzz_system_pair(0, reads_per_core=120) == []
+
+    def test_execute_cell_defaults_to_auto_and_reports_engine(
+        self, monkeypatch
+    ):
+        from repro.sim.parallel import SweepCell, _execute_cell
+
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        cell = SweepCell(
+            design="alloy-map-i",
+            benchmark="mcf_r",
+            config=_config(),
+            reads_per_core=120,
+            seed=7,
+        )
+        workload = _workload(_config(), reads=120)
+        _, telemetry = _execute_cell(cell, workload=workload)
+        assert telemetry["engine_used"] == "batch"
+
+    def test_execute_cell_respects_env_pin(self, monkeypatch):
+        from repro.sim.parallel import SweepCell, _execute_cell
+
+        monkeypatch.setenv("REPRO_ENGINE", "interp")
+        cell = SweepCell(
+            design="alloy-map-i",
+            benchmark="mcf_r",
+            config=_config(),
+            reads_per_core=120,
+            seed=7,
+        )
+        workload = _workload(_config(), reads=120)
+        _, telemetry = _execute_cell(cell, workload=workload)
+        assert telemetry["engine_used"] == "interp"
+
+    def test_sweep_report_counts_engines(self, monkeypatch):
+        from repro.sim.parallel import run_sweep
+
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        config = _config()
+        from repro.sim.parallel import SweepCell, SweepReport
+
+        cells = [
+            SweepCell(
+                design=d,
+                benchmark="mcf_r",
+                config=config,
+                reads_per_core=80,
+                seed=7,
+            )
+            for d in ("alloy-map-i", "perfect-l3")
+        ]
+        report = run_sweep(cells, use_cache=False)
+        assert isinstance(report, SweepReport)
+        counts = report.engine_counts
+        assert counts.get("batch") == 1
+        assert counts.get("interp") == 1
+        assert "-- engines:" in report.render()
+
+
+class TestNoWorkloadMutation:
+    """Kernels must never write into workload arrays: on the single-core
+    path ``_flatten`` hands back the trace's own (possibly arena/shared-
+    memory-backed) numpy arrays without a copy."""
+
+    @pytest.mark.parametrize(
+        "design", ["alloy-map-i", "lh-cache", "alloy-victim16", "ideal-lo"]
+    )
+    def test_single_core_arrays_unchanged(self, design):
+        import numpy as np
+
+        config = _config(num_cores=1, mshrs_per_core=4)
+        workload = _workload(config)
+        trace = workload.cores[0]
+        before = {
+            "addresses": trace.addresses.copy(),
+            "is_write": trace.is_write.copy(),
+            "pcs": trace.pcs.copy(),
+            "gaps": trace.gaps.copy(),
+        }
+        system = System(
+            dataclasses.replace(config, engine="batch"), design, workload
+        )
+        system.run()
+        assert system.engine_used == "batch"
+        for name, want in before.items():
+            got = getattr(trace, name)
+            assert np.array_equal(got, want), f"kernel mutated trace.{name}"
