@@ -12,6 +12,7 @@ Usage::
     repro explore --strategy halving # Pareto search of the config space
     repro jobs list                  # job admin (also: show / rm)
     repro cache stats                # store admin (also: prune / clear)
+    repro serve -j 4 --port 7341     # serve jobs to concurrent clients
 
 The ``sweep`` verb runs an ad-hoc (design x benchmark) grid through the
 parallel executor in :mod:`repro.sim.parallel`, printing per-cell telemetry
@@ -234,6 +235,16 @@ def build_cache_parser() -> argparse.ArgumentParser:
         metavar="SIZE",
         help="size budget, e.g. 200M, 1G, 500000 (bytes)",
     )
+    prune.add_argument(
+        "--min-age",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "never evict entries modified within the last SECONDS "
+            "(protects work concurrent clients just finished; default 0)"
+        ),
+    )
     clear = sub.add_parser("clear", help="delete store contents")
     clear.add_argument(
         "--results", action="store_true", help="clear only cached results"
@@ -250,6 +261,139 @@ def build_cache_parser() -> argparse.ArgumentParser:
         help="cache directory (default .repro_cache or REPRO_CACHE_DIR)",
     )
     return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Serve the resumable job layer to concurrent clients over "
+            "NDJSON/TCP (plus HTTP GET /metrics on the same port), with "
+            "a bounded job queue, per-client rate limits, incremental "
+            "per-cell result streaming, and graceful drain on SIGTERM"
+        ),
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0: kernel-assigned, printed on startup)",
+    )
+    parser.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="write the bound port to PATH (for scripted clients / CI)",
+    )
+    parser.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve one NDJSON session over stdin/stdout instead of TCP",
+    )
+    parser.add_argument(
+        "-j",
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool width used for every job (default 1)",
+    )
+    parser.add_argument(
+        "--job-slots",
+        type=int,
+        default=2,
+        metavar="N",
+        help="jobs simulating concurrently (default 2)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=8,
+        metavar="N",
+        help="jobs waiting for a slot before submits are rejected",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        metavar="MSGS",
+        help="per-client message rate limit in msgs/sec (0 disables)",
+    )
+    parser.add_argument(
+        "--burst",
+        type=int,
+        default=20,
+        metavar="N",
+        help="per-client rate-limit burst allowance (default 20)",
+    )
+    parser.add_argument(
+        "--max-client-jobs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="in-flight jobs per connection (default 4)",
+    )
+    parser.add_argument(
+        "--idle-segments",
+        type=int,
+        default=4,
+        metavar="N",
+        help=(
+            "idle shared-memory workload segments kept mapped between "
+            "jobs (default 4; 0 releases eagerly)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="result cache directory (default .repro_cache or REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the persistent result cache",
+    )
+    return parser
+
+
+def _serve_main(argv: List[str]) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.serve.server import ServeConfig, run_server, run_stdio
+
+    args = build_serve_parser().parse_args(argv)
+    if args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.job_slots < 1:
+        print(
+            f"--job-slots must be >= 1, got {args.job_slots}",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        job_slots=args.job_slots,
+        max_queue=args.max_queue,
+        rate=args.rate,
+        burst=args.burst,
+        max_client_jobs=args.max_client_jobs,
+        idle_segments=args.idle_segments,
+        use_cache=not args.no_cache,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+    )
+    if args.stdio:
+        return asyncio.run(run_stdio(config))
+    port_file = Path(args.port_file) if args.port_file else None
+    try:
+        return asyncio.run(run_server(config, port_file=port_file))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        return 0
 
 
 def build_explore_parser() -> argparse.ArgumentParser:
@@ -1189,7 +1333,11 @@ def _cache_main(argv: List[str]) -> int:
         except ValueError as exc:
             print(f"cache: {exc}", file=sys.stderr)
             return 2
-        print(prune_cache(budget, cache_dir).render())
+        print(
+            prune_cache(
+                budget, cache_dir, min_age_seconds=args.min_age
+            ).render()
+        )
         return 0
     # clear: with no kind flags, clear everything.
     any_flag = args.results or args.traces or args.jobs
@@ -1293,6 +1441,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "explore":
         return _explore_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
 
     args = build_parser().parse_args(argv)
     if args.list or not args.experiments:
@@ -1303,6 +1453,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "\nother verbs:\n"
             "  sweep (see 'repro sweep --help')\n"
             "  explore (see 'repro explore --help')\n"
+            "  serve (see 'repro serve --help')\n"
             "  jobs (see 'repro jobs --help')\n"
             "  cache (see 'repro cache --help')\n"
             "  breakdown (see 'repro breakdown --help')\n"

@@ -18,11 +18,13 @@ from repro.jobs.manager import (
     JOBS_SUBDIR,
     Job,
     JobInfo,
+    JobRunLock,
     cell_from_dict,
     cell_to_dict,
     create_job,
     ephemeral_job,
     job_id_for,
+    job_in_use,
     jobs_root,
     list_jobs,
     open_job,

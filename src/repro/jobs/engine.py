@@ -33,7 +33,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.jobs.journal import JobJournal
-from repro.jobs.manager import Job, cell_to_dict, open_job
+from repro.jobs.manager import Job, JobRunLock, cell_to_dict, open_job
 from repro.sim import parallel as _par
 from repro.sim.parallel import (
     CellResult,
@@ -45,9 +45,9 @@ from repro.sim.parallel import (
 from repro.sim.results import SimResult
 from repro.workloads.arena import (
     SharedWorkloadHandle,
+    acquire_shared_workload,
     get_workload_arena,
-    release_segment,
-    share_workload,
+    release_shared_workload,
 )
 
 #: Optional per-cell callback: called with each newly-executed CellResult
@@ -61,9 +61,23 @@ def submit_job(
     cache: Optional[ResultCache] = None,
     use_cache: bool = True,
     progress: Optional[Progress] = None,
+    on_cell: Optional[Progress] = None,
 ) -> SweepReport:
-    """Execute (or finish) a job; see the module docstring."""
+    """Execute (or finish) a job; see the module docstring.
+
+    While a journaled job runs, its directory holds a shared advisory run
+    lock (:class:`repro.jobs.manager.JobRunLock`), so a concurrent
+    ``repro cache prune`` cannot delete the journal mid-resume.
+    ``on_cell`` (unlike ``progress``) fires for *every* completed cell —
+    journal replays and cache hits included — in completion order; the
+    serve layer streams these to clients incrementally.
+    """
     journal = job.journal()
+    lock = (
+        JobRunLock(job.directory).acquire()
+        if job.directory is not None
+        else None
+    )
     try:
         return _execute_cells(
             job.cells,
@@ -72,8 +86,11 @@ def submit_job(
             use_cache=use_cache,
             journal=journal,
             progress=progress,
+            on_cell=on_cell,
         )
     finally:
+        if lock is not None:
+            lock.release()
         if journal is not None:
             journal.close()
 
@@ -85,6 +102,7 @@ def resume_job(
     use_cache: bool = True,
     progress: Optional[Progress] = None,
     cache_dir=None,
+    on_cell: Optional[Progress] = None,
 ) -> SweepReport:
     """Reopen a job by id or name and run whatever its journal is missing."""
     return submit_job(
@@ -93,6 +111,7 @@ def resume_job(
         cache=cache,
         use_cache=use_cache,
         progress=progress,
+        on_cell=on_cell,
     )
 
 
@@ -103,6 +122,7 @@ def _execute_cells(
     use_cache: bool = True,
     journal: Optional[JobJournal] = None,
     progress: Optional[Progress] = None,
+    on_cell: Optional[Progress] = None,
 ) -> SweepReport:
     """The fan-out loop behind :func:`submit_job` (and ``run_sweep``).
 
@@ -118,6 +138,10 @@ def _execute_cells(
     if cache is None:
         cache = _par.get_result_cache()
     started = time.perf_counter()
+
+    def _emit(slot: CellResult) -> None:
+        if on_cell is not None:
+            on_cell(slot)
 
     completed: Dict[str, tuple] = journal.load() if journal is not None else {}
     journaled = set(completed)
@@ -148,6 +172,7 @@ def _execute_cells(
             slots[index] = _par._cell_result(
                 cell, result, telemetry, from_cache=True
             )
+            _emit(slots[index])
         else:
             pending.setdefault(key, []).append(index)
 
@@ -159,6 +184,7 @@ def _execute_cells(
                 cells[index], result, telemetry, from_cache=not first
             )
             first = False
+            _emit(slots[index])
         if progress is not None:
             progress(slots[pending[key][0]])
 
@@ -182,7 +208,7 @@ def _execute_cells(
         persist = use_cache and cache.persist
         share = shared_traces_enabled()
         handles: Dict[str, SharedWorkloadHandle] = {}
-        segments: List[str] = []
+        acquired: List[str] = []
         futures: Dict[Future, str] = {}
         try:
             if share:
@@ -200,9 +226,9 @@ def _execute_cells(
                         ]
                         if trace_tel["trace_source"] == "built":
                             parent_builds += 1
-                        handle = share_workload(wkey, workload)
+                        handle = acquire_shared_workload(wkey, workload)
                         handles[wkey] = handle
-                        segments.append(handle.shm_name)
+                        acquired.append(wkey)
                     futures[
                         pool.submit(
                             _par._worker,
@@ -251,8 +277,8 @@ def _execute_cells(
                 future.cancel()
             raise
         finally:
-            for name in segments:
-                release_segment(name)
+            for wkey in acquired:
+                release_shared_workload(wkey)
             if not share:
                 pool.shutdown(wait=False, cancel_futures=True)
 

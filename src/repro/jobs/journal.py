@@ -59,9 +59,12 @@ class JobJournal:
         """
         entries: Dict[str, Tuple[SimResult, Dict]] = {}
         self.dropped = 0
-        if not self.path.exists():
+        try:
+            text = self.path.read_bytes().decode("utf-8", errors="replace")
+        except OSError:
+            # Missing — or deleted by a concurrent prune between the
+            # caller's existence check and this read: an empty journal.
             return entries
-        text = self.path.read_bytes().decode("utf-8", errors="replace")
         for line in text.split("\n"):
             if not line.strip():
                 continue

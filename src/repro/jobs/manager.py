@@ -38,6 +38,11 @@ from repro.jobs.journal import JOURNAL_NAME, JobJournal
 from repro.sim.config import SystemConfig
 from repro.sim.parallel import SweepCell, default_cache_dir
 
+try:  # pragma: no cover - always present on the POSIX CI/dev hosts
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback: no-op locks
+    fcntl = None  # type: ignore[assignment]
+
 #: Bump when the manifest layout changes.
 MANIFEST_SCHEMA = 1
 
@@ -46,6 +51,61 @@ MANIFEST_NAME = "job.json"
 
 #: Subdirectory of the cache dir holding all job state.
 JOBS_SUBDIR = "jobs"
+
+#: Advisory lock file inside a job directory marking it in use.
+LOCK_NAME = ".lock"
+
+
+class JobRunLock:
+    """Advisory in-use marker for a job directory.
+
+    Every runner of a journaled job holds a *shared* ``flock`` on
+    ``<job dir>/.lock`` for the duration of :func:`repro.jobs.submit_job`
+    (overlapping resumes of one job are legal, hence shared, not
+    exclusive). ``prune_cache`` probes with a non-blocking *exclusive*
+    lock before deleting a job directory, so eviction can never yank the
+    journal out from under a live resume. On platforms without ``fcntl``
+    the lock degrades to a no-op (prune falls back to its min-age floor).
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.path = Path(directory) / LOCK_NAME
+        self._fh = None
+
+    def acquire(self) -> "JobRunLock":
+        if fcntl is not None:
+            self._fh = open(self.path, "a")
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_SH)
+        return self
+
+    def release(self) -> None:
+        if self._fh is not None:
+            self._fh.close()  # closing the fd drops the flock
+            self._fh = None
+
+    def __enter__(self) -> "JobRunLock":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def job_in_use(directory: Path) -> bool:
+    """Whether some process currently holds ``directory``'s run lock."""
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        return False
+    lock = Path(directory) / LOCK_NAME
+    try:
+        fd = os.open(lock, os.O_RDWR)
+    except OSError:
+        return False  # no lock file: nothing is running this job
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        return True
+    finally:
+        os.close(fd)
+    return False
 
 
 def jobs_root(cache_dir: Optional[Path] = None) -> Path:
@@ -264,9 +324,12 @@ def list_jobs(cache_dir: Optional[Path] = None) -> List[JobInfo]:
         if data is None:
             continue
         job = _job_from_manifest(directory, data)
-        size = sum(
-            p.stat().st_size for p in directory.rglob("*") if p.is_file()
-        )
+        size = 0
+        for p in directory.rglob("*"):
+            try:
+                size += p.stat().st_size if p.is_file() else 0
+            except OSError:  # vanished under a concurrent pruner
+                continue
         infos.append(
             JobInfo(
                 job_id=data.get("job_id", directory.name),

@@ -12,17 +12,25 @@ module backs the ``repro cache`` CLI verb:
   recomputable state, so eviction is always safe — at worst a future run
   resimulates.
 * :func:`clear_cache` — drop whole kinds outright.
+
+All scanning here tolerates concurrent writers and pruners: any file may
+vanish between ``iterdir`` and ``stat`` (another client completing a cell,
+another prune racing this one), which is a skip, never a crash. Job
+directories are additionally guarded by the advisory run lock
+(:class:`repro.jobs.manager.JobRunLock`): prune never deletes a job some
+process is mid-``resume_job`` on.
 """
 
 from __future__ import annotations
 
 import re
 import shutil
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.jobs.manager import JOBS_SUBDIR
+from repro.jobs.manager import JOBS_SUBDIR, job_in_use
 from repro.sim.parallel import default_cache_dir
 from repro.workloads.arena import TRACE_SUBDIR
 
@@ -82,8 +90,27 @@ class CacheStats:
         return "\n".join(lines)
 
 
+def _file_size(path: Path) -> Optional[int]:
+    """``st_size``, or None when the file vanished under a concurrent
+    writer/pruner between enumeration and ``stat``."""
+    try:
+        return path.stat().st_size
+    except OSError:
+        return None
+
+
 def _dir_size(path: Path) -> int:
-    return sum(p.stat().st_size for p in path.rglob("*") if p.is_file())
+    total = 0
+    try:
+        for p in path.rglob("*"):
+            try:
+                if p.is_file():
+                    total += p.stat().st_size
+            except OSError:  # entry vanished mid-scan
+                continue
+    except OSError:  # the directory itself vanished mid-walk
+        pass
+    return total
 
 
 def _result_files(directory: Path) -> List[Path]:
@@ -99,25 +126,30 @@ def _trace_files(directory: Path) -> List[Path]:
 
 def _job_dirs(directory: Path) -> List[Path]:
     jobs = directory / JOBS_SUBDIR
-    if not jobs.is_dir():
+    try:
+        return sorted(p for p in jobs.iterdir() if p.is_dir())
+    except OSError:  # missing or concurrently cleared
         return []
-    return sorted(p for p in jobs.iterdir() if p.is_dir())
+
+
+def _kind_stats(kind: str, paths: List[Path]) -> KindStats:
+    sizes = [s for p in paths if (s := _file_size(p)) is not None]
+    return KindStats(kind, len(sizes), sum(sizes))
 
 
 def cache_stats(directory: Optional[Path] = None) -> CacheStats:
-    """Count + size every kind of cached state under ``directory``."""
+    """Count + size every kind of cached state under ``directory``.
+
+    Race-tolerant: entries deleted between enumeration and ``stat`` (a
+    concurrent prune, a worker replacing a temp file) are simply not
+    counted.
+    """
     directory = Path(directory) if directory else default_cache_dir()
-    results = _result_files(directory)
-    traces = _trace_files(directory)
     jobs = _job_dirs(directory)
     return CacheStats(
         directory=directory,
-        results=KindStats(
-            "results", len(results), sum(p.stat().st_size for p in results)
-        ),
-        traces=KindStats(
-            "traces", len(traces), sum(p.stat().st_size for p in traces)
-        ),
+        results=_kind_stats("results", _result_files(directory)),
+        traces=_kind_stats("traces", _trace_files(directory)),
         jobs=KindStats("jobs", len(jobs), sum(_dir_size(p) for p in jobs)),
     )
 
@@ -129,6 +161,11 @@ class PruneReport:
     removed: List[str]
     freed_bytes: int
     remaining_bytes: int
+    #: Eviction candidates skipped because a process holds their run lock
+    #: (or they are younger than the min-age floor).
+    skipped: List[str] = field(default_factory=list)
+    #: Why each :attr:`skipped` entry was kept (keyed by entry name).
+    skip_reasons: Dict[str, str] = field(default_factory=dict)
 
     def render(self) -> str:
         lines = [
@@ -138,11 +175,35 @@ class PruneReport:
             f"(budget {format_size(self.max_bytes)})"
         ]
         lines.extend(f"  removed {name}" for name in self.removed)
+        lines.extend(
+            f"  skipped {name} ({self.skip_reasons.get(name, 'in use')})"
+            for name in self.skipped
+        )
         return "\n".join(lines)
 
 
+def _job_mtime(path: Path) -> Optional[float]:
+    """Newest mtime inside a job dir; None when it vanished mid-scan."""
+    newest: Optional[float] = None
+    try:
+        for p in path.rglob("*"):
+            try:
+                if p.is_file():
+                    mtime = p.stat().st_mtime
+                    newest = mtime if newest is None else max(newest, mtime)
+            except OSError:
+                continue
+        if newest is None:
+            newest = path.stat().st_mtime
+    except OSError:
+        return None
+    return newest
+
+
 def prune_cache(
-    max_bytes: int, directory: Optional[Path] = None
+    max_bytes: int,
+    directory: Optional[Path] = None,
+    min_age_seconds: float = 0.0,
 ) -> PruneReport:
     """Evict oldest entries until the store fits ``max_bytes``.
 
@@ -150,41 +211,87 @@ def prune_cache(
     and *whole job directories* (a journal without its manifest is
     useless), ordered by last-modified time across all three kinds —
     a plain LRU over recomputable state.
+
+    Two guards keep concurrent clients safe:
+
+    * A job directory whose run lock is held (some process is mid
+      ``submit_job``/``resume_job`` on it) is never deleted — it is
+      reported in :attr:`PruneReport.skipped` instead.
+    * ``min_age_seconds`` floors eviction by recency: entries modified
+      within the window are kept, protecting freshly written results from
+      a concurrently racing prune (and lock-less platforms from the race
+      the lock otherwise covers).
+
+    ``freed_bytes`` counts what was *actually* removed: a partially
+    deleted job directory (``rmtree`` racing a writer) contributes only
+    the bytes that are really gone.
     """
     if max_bytes < 0:
         raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
     directory = Path(directory) if directory else default_cache_dir()
+    now = time.time()
     units: List[Tuple[float, int, Path, bool]] = []
     for path in _result_files(directory) + _trace_files(directory):
-        stat = path.stat()
+        try:
+            stat = path.stat()
+        except OSError:  # vanished between glob and stat
+            continue
         units.append((stat.st_mtime, stat.st_size, path, False))
     for path in _job_dirs(directory):
-        mtime = max(
-            (p.stat().st_mtime for p in path.rglob("*") if p.is_file()),
-            default=path.stat().st_mtime,
-        )
+        mtime = _job_mtime(path)
+        if mtime is None:
+            continue
         units.append((mtime, _dir_size(path), path, True))
     total = sum(size for _, size, _, _ in units)
     removed: List[str] = []
+    skipped: List[str] = []
+    reasons: Dict[str, str] = {}
+
+    def skip(name: str, reason: str) -> None:
+        skipped.append(name)
+        reasons[name] = reason
+
     freed = 0
-    for _, size, path, is_dir in sorted(units, key=lambda u: u[0]):
+    for mtime, size, path, is_dir in sorted(units, key=lambda u: u[0]):
         if total - freed <= max_bytes:
             break
+        name = str(path.relative_to(directory))
+        if min_age_seconds > 0 and now - mtime < min_age_seconds:
+            skip(name, "too recent")
+            continue
         if is_dir:
+            if job_in_use(path):
+                skip(name, "in use")
+                continue
             shutil.rmtree(path, ignore_errors=True)
+            remaining = _dir_size(path) if path.exists() else 0
+            freed += max(0, size - remaining)
+            if path.exists():
+                skip(name, "partially removed")
+            else:
+                removed.append(name)
         else:
             try:
                 path.unlink()
-            except OSError:  # pragma: no cover - racing cleanup
+            except FileNotFoundError:
+                # A racing pruner (or clear) beat us to it: the bytes are
+                # gone either way, so account them as freed.
+                freed += size
+                removed.append(name)
                 continue
-        freed += size
-        removed.append(str(path.relative_to(directory)))
+            except OSError:  # pragma: no cover - permission races
+                skip(name, "in use")
+                continue
+            freed += size
+            removed.append(name)
     return PruneReport(
         directory=directory,
         max_bytes=max_bytes,
         removed=removed,
         freed_bytes=freed,
         remaining_bytes=total - freed,
+        skipped=skipped,
+        skip_reasons=reasons,
     )
 
 

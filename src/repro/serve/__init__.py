@@ -1,0 +1,32 @@
+"""``repro serve``: a concurrent-client front-end over the job layer.
+
+Public surface:
+
+* :class:`ServeConfig`, :class:`ServeServer`, :class:`ServerThread`,
+  :func:`run_server`, :func:`run_stdio` — the asyncio server
+  (:mod:`repro.serve.server`).
+* :class:`ServeClient`, :class:`ServeError` — the blocking client
+  (:mod:`repro.serve.client`).
+* :func:`report_to_dict` / :func:`report_from_dict` and friends — the
+  NDJSON wire format (:mod:`repro.serve.protocol`).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    cell_result_from_dict,
+    cell_result_to_dict,
+    decode,
+    encode,
+    render_metrics,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.serve.server import (
+    ServeConfig,
+    ServeServer,
+    ServeStats,
+    ServerThread,
+    run_server,
+    run_stdio,
+)

@@ -1,0 +1,169 @@
+"""A small synchronous client for ``repro serve`` (tests, scripts, CI).
+
+Blocking socket + NDJSON; one connection can run several requests
+sequentially (the server supports interleaving via ``id`` tags, but this
+client keeps it simple: each call streams until its own terminal event).
+
+    client = ServeClient(port=port)
+    report = client.submit(cells, name="nightly")   # dict, see protocol
+    client.close()
+
+``submit``/``resume`` return the ``done`` payload's ``report`` dict —
+feed it to :func:`repro.serve.protocol.report_from_dict` for a real
+:class:`~repro.sim.parallel.SweepReport`. Failures raise
+:class:`ServeError` with the server's machine-readable ``code``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.jobs.manager import cell_to_dict
+from repro.serve.protocol import decode, encode
+from repro.sim.parallel import SweepCell
+
+
+class ServeError(RuntimeError):
+    """A request the server answered with an ``error`` event."""
+
+    def __init__(self, code: str, message: str, event: Optional[Dict] = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.event = event or {}
+
+
+class ServeClient:
+    """Blocking NDJSON client over one TCP connection."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 300.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._fh = self._sock.makefile("rwb")
+
+    # -- plumbing -------------------------------------------------------
+    def send(self, message: Dict) -> None:
+        self._fh.write(encode(message))
+        self._fh.flush()
+
+    def recv(self) -> Dict:
+        line = self._fh.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode(line)
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- simple ops -----------------------------------------------------
+    def hello(self) -> Dict:
+        self.send({"op": "hello"})
+        return self._expect("hello")
+
+    def ping(self) -> Dict:
+        self.send({"op": "ping"})
+        return self._expect("pong")
+
+    def stats(self) -> Dict:
+        self.send({"op": "stats"})
+        return self._expect("stats")["stats"]
+
+    def bye(self) -> None:
+        self.send({"op": "bye"})
+        try:
+            self._expect("bye")
+        except (ConnectionError, ServeError):
+            pass
+        self.close()
+
+    def _expect(self, event: str) -> Dict:
+        message = self.recv()
+        if message.get("event") == "error":
+            raise ServeError(
+                message.get("code", "unknown"),
+                message.get("error", ""),
+                message,
+            )
+        if message.get("event") != event:
+            raise ServeError(
+                "protocol",
+                f"expected {event!r}, got {message.get('event')!r}",
+                message,
+            )
+        return message
+
+    # -- jobs -----------------------------------------------------------
+    def submit(
+        self,
+        cells: Iterable[SweepCell],
+        name: str = "",
+        use_cache: bool = True,
+        on_cell: Optional[Callable[[Dict], None]] = None,
+        on_ack: Optional[Callable[[Dict], None]] = None,
+    ) -> Dict:
+        """Run a grid of cells; returns the finished report dict.
+
+        ``on_cell`` (if given) sees every streamed ``cell`` event's
+        ``data`` payload the moment the server emits it.
+        """
+        message = {
+            "op": "submit",
+            "cells": [cell_to_dict(cell) for cell in cells],
+            "use_cache": use_cache,
+        }
+        if name:
+            message["name"] = name
+        self.send(message)
+        return self._stream_job(on_cell, on_ack)
+
+    def resume(
+        self,
+        ref: str,
+        use_cache: bool = True,
+        on_cell: Optional[Callable[[Dict], None]] = None,
+        on_ack: Optional[Callable[[Dict], None]] = None,
+    ) -> Dict:
+        """Finish a journaled job by name or id; returns the report dict."""
+        self.send({"op": "resume", "ref": ref, "use_cache": use_cache})
+        return self._stream_job(on_cell, on_ack)
+
+    def _stream_job(
+        self,
+        on_cell: Optional[Callable[[Dict], None]],
+        on_ack: Optional[Callable[[Dict], None]],
+    ) -> Dict:
+        cells: List[Dict] = []
+        while True:
+            message = self.recv()
+            event = message.get("event")
+            if event == "ack":
+                if on_ack is not None:
+                    on_ack(message)
+            elif event == "cell":
+                cells.append(message["data"])
+                if on_cell is not None:
+                    on_cell(message["data"])
+            elif event == "done":
+                report = message["report"]
+                report["streamed_cells"] = cells
+                return report
+            elif event == "error":
+                raise ServeError(
+                    message.get("code", "unknown"),
+                    message.get("error", ""),
+                    message,
+                )
+            # other events (stats/pong from interleaved ops) are skipped

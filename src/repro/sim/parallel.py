@@ -59,6 +59,7 @@ import json
 import os
 import signal
 import sys
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field, fields, replace
@@ -279,8 +280,9 @@ class ResultCache:
                 try:
                     data = json.loads(path.read_text())
                     result = SimResult.from_dict(data["result"])
-                except (ValueError, KeyError, TypeError):
-                    # Torn/stale file: treat as a miss and recompute.
+                except (OSError, ValueError, KeyError, TypeError):
+                    # Torn/stale file — or one a concurrent pruner deleted
+                    # between exists() and read — is a miss; recompute.
                     self.misses += 1
                     return None
                 telemetry = data.get("telemetry", {})
@@ -521,22 +523,30 @@ def _worker(
 # ----------------------------------------------------------------------
 _pool: Optional[ProcessPoolExecutor] = None
 _pool_size = 0
+#: Serializes pool create/teardown: serve runs concurrent jobs on worker
+#: threads, and an unguarded double-create would leak a whole pool.
+_pool_lock = threading.Lock()
 
 
 def _get_pool(max_workers: int) -> ProcessPoolExecutor:
     """The lazily-created pool, reused across ``run_sweep`` calls.
 
-    Recreated only when the requested size changes. Workers spawn on
-    demand (ProcessPoolExecutor grows the pool per submit), so asking for
-    4 workers to run 2 cells forks 2 processes.
+    Recreated only when the requested size changes (never shrunk while
+    other threads may hold it — growth wins, so concurrent jobs requesting
+    different sizes share the largest). Workers spawn on demand
+    (ProcessPoolExecutor grows the pool per submit), so asking for 4
+    workers to run 2 cells forks 2 processes.
     """
     global _pool, _pool_size
-    if _pool is not None and _pool_size != max_workers:
-        shutdown_worker_pool()
-    if _pool is None:
-        _pool = ProcessPoolExecutor(max_workers=max_workers)
-        _pool_size = max_workers
-    return _pool
+    with _pool_lock:
+        if _pool is not None and _pool_size < max_workers:
+            _pool.shutdown(wait=True, cancel_futures=True)
+            _pool = None
+            _pool_size = 0
+        if _pool is None:
+            _pool = ProcessPoolExecutor(max_workers=max_workers)
+            _pool_size = max_workers
+        return _pool
 
 
 def shutdown_worker_pool() -> None:
@@ -546,10 +556,10 @@ def shutdown_worker_pool() -> None:
     sweep gets a fresh pool instead of the poisoned one.
     """
     global _pool, _pool_size
-    if _pool is not None:
-        _pool.shutdown(wait=True, cancel_futures=True)
-        _pool = None
-        _pool_size = 0
+    with _pool_lock:
+        pool, _pool, _pool_size = _pool, None, 0
+    if pool is not None:
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 atexit.register(shutdown_worker_pool)

@@ -21,6 +21,15 @@ shared-workload fabric's storage layer:
   segment owns it: segments are registered module-wide and
   :func:`release_all_segments` (also installed via ``atexit``) guarantees
   nothing survives in ``/dev/shm`` after a sweep, an exception, or Ctrl-C.
+* :func:`acquire_shared_workload` / :func:`release_shared_workload` — a
+  refcounted pool over those primitives for long-running, multi-client
+  processes (``repro serve``): concurrent sweeps needing the same workload
+  share one segment instead of duplicating it, and released segments are
+  either unlinked immediately (the default, preserving the one-shot sweep
+  contract that nothing outlives ``run_sweep``) or parked in a bounded
+  idle LRU (:func:`set_idle_segment_cap`) for reuse by the next job. All
+  pool operations are thread-safe — the serve layer runs jobs on worker
+  threads.
 
 Environment knobs:
 
@@ -37,6 +46,7 @@ import hashlib
 import io
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
@@ -354,6 +364,10 @@ _owned_segments: Dict[str, shared_memory.SharedMemory] = {}
 #: Monotonic suffix so two arenas for one key in one process never collide.
 _segment_counter = 0
 
+#: Guards every module-level segment structure. Sweeps from concurrent
+#: serve jobs share/release segments from different threads.
+_segment_lock = threading.RLock()
+
 
 def share_workload(key: str, workload: Workload) -> SharedWorkloadHandle:
     """Pack ``workload`` into one owned shared-memory segment.
@@ -385,10 +399,13 @@ def share_workload(key: str, workload: Workload) -> SharedWorkloadHandle:
         specs.append(core_spec)
         per_core_arrays.append(arrays)
 
-    _segment_counter += 1
-    name = f"repro-{os.getpid():x}-{_segment_counter:x}-{key[:12]}"
-    shm = shared_memory.SharedMemory(name=name, create=True, size=max(total, 1))
-    _owned_segments[shm.name] = shm
+    with _segment_lock:
+        _segment_counter += 1
+        name = f"repro-{os.getpid():x}-{_segment_counter:x}-{key[:12]}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(total, 1)
+        )
+        _owned_segments[shm.name] = shm
     for core_spec, arrays in zip(specs, per_core_arrays):
         for field in _ARRAY_FIELDS:
             spec = core_spec[field]
@@ -475,7 +492,8 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
 
 def release_segment(shm_name: str) -> None:
     """Close and unlink one owned segment (idempotent)."""
-    shm = _owned_segments.pop(shm_name, None)
+    with _segment_lock:
+        shm = _owned_segments.pop(shm_name, None)
     if shm is None:
         return
     try:
@@ -490,15 +508,146 @@ def release_all_segments() -> None:
 
     Called from ``run_sweep``'s ``finally`` and registered via ``atexit``
     as a backstop, so no ``/dev/shm`` entry outlives the process even on
-    Ctrl-C between creation and the sweep's own cleanup.
+    Ctrl-C between creation and the sweep's own cleanup. Also drops the
+    refcounted pool's bookkeeping — the segments it tracks are owned
+    segments like any other.
     """
-    for name in list(_owned_segments):
+    with _segment_lock:
+        _segment_pool.clear()
+        names = list(_owned_segments)
+    for name in names:
         release_segment(name)
 
 
 def owned_segment_names() -> Tuple[str, ...]:
     """Names of currently-owned segments (tests assert this drains)."""
-    return tuple(_owned_segments)
+    with _segment_lock:
+        return tuple(_owned_segments)
+
+
+# ----------------------------------------------------------------------
+# Refcounted segment pool (concurrent sweeps in one process)
+# ----------------------------------------------------------------------
+@dataclass
+class _PooledSegment:
+    """Pool bookkeeping for one shared segment, by workload key."""
+
+    handle: SharedWorkloadHandle
+    refcount: int
+    #: Monotonic timestamp of the last release (LRU order for idle eviction).
+    last_used: float
+
+
+#: Workload content key -> pooled segment. Guarded by ``_segment_lock``.
+_segment_pool: Dict[str, _PooledSegment] = {}
+
+#: How many refcount-zero segments to keep mapped for reuse. 0 preserves
+#: the one-shot contract: a released segment is unlinked immediately.
+_idle_segment_cap = 0
+
+
+def set_idle_segment_cap(cap: int) -> int:
+    """Set how many idle (refcount 0) segments the pool may keep; returns
+    the previous cap. ``repro serve`` raises this so back-to-back jobs over
+    the same workloads skip the pack-and-copy; 0 restores eager release."""
+    global _idle_segment_cap
+    if cap < 0:
+        raise ValueError(f"idle segment cap must be >= 0, got {cap}")
+    with _segment_lock:
+        previous = _idle_segment_cap
+        _idle_segment_cap = cap
+        names = _evict_idle_locked()
+    for name in names:
+        release_segment(name)
+    return previous
+
+
+def acquire_shared_workload(key: str, workload: Workload) -> SharedWorkloadHandle:
+    """A shared segment for ``key``, reusing a live or idle one if present.
+
+    Every acquire must be paired with one :func:`release_shared_workload`.
+    Two concurrent sweeps needing the same workload get the same segment
+    (refcount 2) instead of packing two copies into ``/dev/shm``.
+    """
+    with _segment_lock:
+        entry = _segment_pool.get(key)
+        if entry is not None and entry.handle.shm_name in _owned_segments:
+            entry.refcount += 1
+            return entry.handle
+        handle = share_workload(key, workload)
+        _segment_pool[key] = _PooledSegment(
+            handle=handle, refcount=1, last_used=time.monotonic()
+        )
+        return handle
+
+
+def release_shared_workload(key: str) -> None:
+    """Drop one reference to ``key``'s pooled segment (idempotent once the
+    refcount reaches zero). Idle segments beyond the cap are unlinked,
+    oldest-released first."""
+    names: List[str] = []
+    with _segment_lock:
+        entry = _segment_pool.get(key)
+        if entry is None:
+            return
+        if entry.refcount > 0:
+            entry.refcount -= 1
+        entry.last_used = time.monotonic()
+        names = _evict_idle_locked()
+    for name in names:
+        release_segment(name)
+
+
+def _evict_idle_locked() -> List[str]:
+    """Evict idle pool entries beyond the cap; returns shm names to unlink.
+
+    Caller holds ``_segment_lock`` and must call :func:`release_segment`
+    on the returned names *outside* any long critical section.
+    """
+    idle = sorted(
+        (
+            (key, entry)
+            for key, entry in _segment_pool.items()
+            if entry.refcount == 0
+        ),
+        key=lambda item: item[1].last_used,
+    )
+    names: List[str] = []
+    while len(idle) > _idle_segment_cap:
+        key, entry = idle.pop(0)
+        del _segment_pool[key]
+        names.append(entry.handle.shm_name)
+    return names
+
+
+def release_idle_segments() -> int:
+    """Unlink every idle pooled segment now; returns how many were dropped.
+
+    The serve layer calls this on drain so a stopped server leaves
+    ``/dev/shm`` empty without waiting for ``atexit``.
+    """
+    with _segment_lock:
+        idle = [
+            (key, entry.handle.shm_name)
+            for key, entry in _segment_pool.items()
+            if entry.refcount == 0
+        ]
+        for key, _ in idle:
+            del _segment_pool[key]
+    for _, name in idle:
+        release_segment(name)
+    return len(idle)
+
+
+def segment_pool_stats() -> Dict[str, int]:
+    """Pool telemetry: ``{"pooled": n, "active": n, "idle": n}``."""
+    with _segment_lock:
+        active = sum(1 for e in _segment_pool.values() if e.refcount > 0)
+        return {
+            "pooled": len(_segment_pool),
+            "active": active,
+            "idle": len(_segment_pool) - active,
+        }
 
 
 atexit.register(release_all_segments)

@@ -6,10 +6,12 @@ import pytest
 
 from repro.cli import main
 from repro.jobs import (
+    JobRunLock,
     cache_stats,
     clear_cache,
     create_job,
     format_size,
+    job_in_use,
     parse_size,
     prune_cache,
     submit_job,
@@ -101,6 +103,116 @@ class TestPrune:
         report = prune_cache(10 * 1024**3, tmp_path)
         assert report.removed == []
         assert report.freed_bytes == 0
+
+
+class TestConcurrencyGuards:
+    """Races and in-use guards: the shared store under concurrent clients."""
+
+    def test_stats_tolerate_files_vanishing_mid_scan(
+        self, tmp_path, monkeypatch
+    ):
+        """A file deleted between enumeration and stat() is a skip."""
+        populated(tmp_path)
+        import repro.jobs.storage as storage
+
+        real = storage._result_files
+
+        def ghostly(directory):
+            paths = real(directory)
+            ghost = directory / "feedfacedeadbeef.json"
+            return [ghost, *paths]  # enumerated, but never existed by stat
+
+        monkeypatch.setattr(storage, "_result_files", ghostly)
+        stats = cache_stats(tmp_path)
+        assert stats.results.count == 2  # the ghost is not counted
+        report = prune_cache(0, tmp_path)
+        assert "feedfacedeadbeef.json" not in report.removed
+        assert cache_stats(tmp_path).total_bytes == 0
+
+    def test_prune_skips_job_whose_run_lock_is_held(self, tmp_path):
+        job = populated(tmp_path)
+        assert not job_in_use(job.directory)
+        with JobRunLock(job.directory):
+            assert job_in_use(job.directory)
+            report = prune_cache(0, tmp_path)
+            name = f"jobs/{job.job_id}"
+            assert name in report.skipped
+            assert report.skip_reasons[name] == "in use"
+            assert "(in use)" in report.render()
+            assert job.directory.exists()
+            assert (job.directory / "journal.jsonl").exists()
+        # Lock released: the same prune now evicts the job.
+        report = prune_cache(0, tmp_path)
+        assert f"jobs/{job.job_id}" in report.removed
+        assert not job.directory.exists()
+
+    def test_submit_job_holds_run_lock_while_executing(self, tmp_path):
+        """prune racing a live submit_job must not delete the journal."""
+        cache = ResultCache(tmp_path, persist=True)
+        job = create_job("locked", tiny_cells(), cache_dir=tmp_path)
+        seen = {}
+
+        def probe(_cell_result):
+            seen["in_use"] = job_in_use(job.directory)
+
+        submit_job(job, cache=cache, on_cell=probe)
+        assert seen["in_use"] is True
+        assert not job_in_use(job.directory)
+
+    def test_freed_bytes_honest_on_partial_rmtree(
+        self, tmp_path, monkeypatch
+    ):
+        """A writer racing rmtree leaves files behind; freed_bytes must
+        count only what is really gone and the dir lands in skipped."""
+        job = populated(tmp_path)
+        import repro.jobs.storage as storage
+
+        journal = job.directory / "journal.jsonl"
+        journal_size = journal.stat().st_size
+
+        def partial_rmtree(path, ignore_errors=False):
+            for p in path.iterdir():  # everything except the journal
+                if p.name != "journal.jsonl":
+                    p.unlink()
+
+        monkeypatch.setattr(storage.shutil, "rmtree", partial_rmtree)
+        total_before = cache_stats(tmp_path).total_bytes
+        report = prune_cache(0, tmp_path)
+        name = f"jobs/{job.job_id}"
+        assert name in report.skipped
+        assert report.skip_reasons[name] == "partially removed"
+        assert name not in report.removed
+        assert journal.exists()
+        # Exactly the surviving journal's bytes are *not* freed.
+        assert report.freed_bytes == total_before - journal_size
+        assert report.remaining_bytes == journal_size
+
+    def test_min_age_floor_protects_fresh_entries(self, tmp_path):
+        populated(tmp_path)
+        report = prune_cache(0, tmp_path, min_age_seconds=3600.0)
+        assert report.removed == []
+        assert report.freed_bytes == 0
+        assert report.skipped  # everything was a candidate, all too young
+        assert set(report.skip_reasons.values()) == {"too recent"}
+        assert cache_stats(tmp_path).total_bytes > 0
+
+    def test_prune_min_age_cli_flag(self, tmp_path, capsys):
+        populated(tmp_path)
+        code = main(
+            [
+                "cache",
+                "--cache-dir",
+                str(tmp_path),
+                "prune",
+                "--max-bytes",
+                "0",
+                "--min-age",
+                "3600",
+            ]
+        )
+        assert code == 0
+        assert "skipped" in capsys.readouterr().out
+        assert cache_stats(tmp_path).total_bytes > 0
 
 
 class TestClear:

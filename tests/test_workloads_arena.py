@@ -13,12 +13,17 @@ from repro.workloads.arena import (
     GENERATOR_VERSION,
     WorkloadArena,
     WorkloadParams,
+    acquire_shared_workload,
     attach_workload,
     load_arena,
     owned_segment_names,
     release_all_segments,
+    release_idle_segments,
     release_segment,
+    release_shared_workload,
     save_arena,
+    segment_pool_stats,
+    set_idle_segment_cap,
     share_workload,
 )
 from repro.workloads.spec import build_workload, generate_workload
@@ -211,6 +216,84 @@ class TestSharedMemory:
         release_segment(handle.shm_name)
         release_segment(handle.shm_name)
         release_all_segments()
+
+
+class TestSegmentPool:
+    """Refcounted segment pool: sharing, idle LRU, eager default."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_pool(self):
+        previous = set_idle_segment_cap(0)
+        yield
+        set_idle_segment_cap(0)
+        release_all_segments()
+        set_idle_segment_cap(previous)
+
+    def _workload(self, benchmark="gcc_r"):
+        return generate_workload(benchmark, reads_per_core=400)
+
+    def test_concurrent_acquires_share_one_segment(self):
+        key = PARAMS.key()
+        workload = self._workload()
+        first = acquire_shared_workload(key, workload)
+        second = acquire_shared_workload(key, workload)
+        assert second.shm_name == first.shm_name
+        assert segment_pool_stats() == {"pooled": 1, "active": 1, "idle": 0}
+        release_shared_workload(key)
+        # One holder remains: the segment must survive.
+        assert first.shm_name in owned_segment_names()
+        release_shared_workload(key)
+        # Cap 0 (the run_sweep contract): last release unlinks eagerly.
+        assert first.shm_name not in owned_segment_names()
+        assert segment_pool_stats()["pooled"] == 0
+
+    def test_idle_cap_keeps_segment_for_reuse(self):
+        set_idle_segment_cap(1)
+        key = PARAMS.key()
+        first = acquire_shared_workload(key, self._workload())
+        release_shared_workload(key)
+        assert segment_pool_stats() == {"pooled": 1, "active": 0, "idle": 1}
+        assert first.shm_name in owned_segment_names()
+        again = acquire_shared_workload(key, self._workload())
+        assert again.shm_name == first.shm_name  # no re-pack
+        release_shared_workload(key)
+
+    def test_idle_eviction_is_lru(self):
+        set_idle_segment_cap(1)
+        old_key = PARAMS.key()
+        new_key = dataclasses.replace(PARAMS, benchmark="mcf_r").key()
+        old = acquire_shared_workload(old_key, self._workload())
+        new = acquire_shared_workload(new_key, self._workload("mcf_r"))
+        release_shared_workload(old_key)
+        release_shared_workload(new_key)
+        # Only the most recently released segment fits under the cap.
+        assert old.shm_name not in owned_segment_names()
+        assert new.shm_name in owned_segment_names()
+
+    def test_release_idle_segments_drains_now(self):
+        set_idle_segment_cap(4)
+        key = PARAMS.key()
+        handle = acquire_shared_workload(key, self._workload())
+        release_shared_workload(key)
+        assert release_idle_segments() == 1
+        assert handle.shm_name not in owned_segment_names()
+        assert segment_pool_stats()["pooled"] == 0
+
+    def test_lowering_cap_evicts_existing_idle(self):
+        set_idle_segment_cap(2)
+        key = PARAMS.key()
+        handle = acquire_shared_workload(key, self._workload())
+        release_shared_workload(key)
+        set_idle_segment_cap(0)
+        assert handle.shm_name not in owned_segment_names()
+
+    def test_release_all_segments_forgets_pool_entries(self):
+        set_idle_segment_cap(2)
+        key = PARAMS.key()
+        acquire_shared_workload(key, self._workload())
+        release_all_segments()
+        assert segment_pool_stats()["pooled"] == 0
+        assert owned_segment_names() == ()
 
 
 class TestSweepCleanup:
